@@ -1,0 +1,91 @@
+"""Long-running measurement kernels for the speed benchmarks.
+
+Table 1 measures *simulation speed* (cycles per second), so the programs
+here are steady-state loops long enough to amortize load-time costs —
+roughly a thousand cycles each, exercising the whole datapath (ALU, memory,
+moves, FP where available, and branches).
+"""
+
+from __future__ import annotations
+
+from repro.arch import description_for
+from repro.asm import Assembler
+
+SPEED_SOURCES = {
+    "spam": """
+; SPAM steady-state mix: 4 ops + moves per iteration
+        ldi r0, #200
+        ldi r1, #0
+loop:   add r1, r1, r0 | fadd r8, r9, r10 | mov r11, r12
+        ld r4, (r2) | xor r5, r5, #21
+        st (r3), r1 | shl r6, r6, #1
+        sub r0, r0, #1
+        bnez r0, loop - .
+        halt
+""",
+    "spam2": """
+; SPAM2 steady-state mix
+        ldi r0, #200
+        ldi r1, #0
+loop:   ld r4, (r2) | add r1, r1, r0 | mov r6, r1
+        st (r3), r6 | and r5, r1, #15
+        sub r0, r0, #1
+        bnz loop - .
+        halt
+""",
+    "risc16": """
+; RISC16 steady-state mix
+        ldi r0, #200
+        ldi r1, #0
+loop:   add r1, r1, r0
+        ld r4, (r2)
+        st (r3), r1
+        xor r5, r1, #85
+        sub r0, r0, #1
+        bne loop - .
+        halt
+""",
+    "acc8": """
+; ACC8 steady-state mix
+        ldi #200
+        sta 0
+loop:   lda 1
+        add 2
+        sta 1
+        lda 0
+        sub 3
+        sta 0
+        bnz loop - 0 + loop     ; absolute target
+        halt
+""",
+}
+
+# ACC8 branches are absolute; rewrite without the relative idiom.
+SPEED_SOURCES["acc8"] = """
+; ACC8 steady-state mix (absolute branch targets)
+        ldi #200
+        sta 0
+loop:   lda 1
+        add 2
+        sta 1
+        lda 0
+        sub 3
+        sta 0
+        bnz loop
+        halt
+"""
+
+
+def speed_program(arch: str):
+    """Assemble the steady-state kernel for *arch*; returns the program."""
+    desc = description_for(arch)
+    source = SPEED_SOURCES[arch]
+    program = Assembler(desc).assemble(source, filename=f"{arch}-speed.s")
+    return desc, program
+
+
+def preload_for(arch: str):
+    """Data-memory preload so loads read deterministic values."""
+    if arch == "acc8":
+        return {"DM": {1: 0, 2: 3, 3: 1, 0: 0}}
+    return {"DM": {0: 7, 1: 9}}

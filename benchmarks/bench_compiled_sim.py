@@ -1,0 +1,76 @@
+"""Future work (paper §6.2) — "Additional speedups can be obtained by a
+move to compiled-code simulators."
+
+Measured: the three simulator generations on the same SPAM kernel —
+
+1. interpretive processing core (walks the RTL AST each execution),
+2. the generated core (per-operation compiled routines — the paper's XSIM
+   structure, and our default),
+3. the program-specialized compiled-code simulator (the future-work mode:
+   operand constants burned in, monitor hooks traded away).
+"""
+
+import pytest
+
+from conftest import record
+from _kernels import preload_for, speed_program
+
+from repro.gensim.compiled import CompiledSimulator
+from repro.gensim.xsim import XSim
+
+ARCH = "spam"
+
+_speeds = {}
+
+
+def _preload(sim):
+    for storage, contents in preload_for(ARCH).items():
+        for index, value in contents.items():
+            sim.write(storage, value, index)
+
+
+def _run_xsim(core):
+    desc, program = speed_program(ARCH)
+    sim = XSim(desc, core=core)
+    _preload(sim)
+    sim.load_words(program.words, program.origin)
+    sim.run_to_completion()
+    return sim.stats.cycles
+
+
+def _run_compiled():
+    desc, program = speed_program(ARCH)
+    sim = CompiledSimulator(desc)
+    _preload(sim)
+    sim.load_words(program.words, program.origin)
+    return sim.run().cycles
+
+
+@pytest.mark.parametrize(
+    "mode", ["interpretive", "generated", "compiled_code"]
+)
+def test_simulator_generations(benchmark, mode):
+    if mode == "compiled_code":
+        cycles = benchmark(_run_compiled)
+    else:
+        cycles = benchmark(lambda: _run_xsim(mode))
+    cps = cycles / benchmark.stats.stats.mean
+    _speeds[mode] = cps
+    labels = {
+        "interpretive": "interpretive core (RTL AST walk)",
+        "generated": "generated core (paper's XSIM; default)",
+        "compiled_code": "compiled-code simulator (paper §6.2 future work)",
+    }
+    record(
+        "Future work — compiled-code simulation (SPAM)",
+        f"- {labels[mode]}: **{cps:,.0f} cycles/sec**",
+    )
+    if len(_speeds) == 3:
+        gain = _speeds["compiled_code"] / _speeds["generated"]
+        record(
+            "Future work — compiled-code simulation (SPAM)",
+            f"- compiled-code over XSIM: **{gain:.1f}x** — confirming the"
+            " paper's expectation of further 'additional speedups'",
+        )
+        assert _speeds["compiled_code"] > _speeds["generated"]
+        assert _speeds["generated"] >= _speeds["interpretive"] * 0.9

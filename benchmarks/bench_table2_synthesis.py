@@ -1,0 +1,47 @@
+"""Table 2 — hardware synthesis statistics for SPAM and SPAM2.
+
+Paper (§6.1, Table 2): for each processor, the cycle length (ns), lines of
+generated Verilog, die size (grid cells), and synthesis time (s).  The
+original numbers came from Synopsys + LSI 10K; ours from the calibrated
+technology model (see DESIGN.md).  The shape to reproduce: the 4-way FP
+SPAM is several times larger and slower-clocked than the reduced 3-way
+integer SPAM2, with synthesis runtimes of seconds.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.arch import description_for
+from repro.hgen import synthesize
+
+_rows = {}
+
+
+@pytest.mark.parametrize("arch", ["spam", "spam2"])
+def test_table2_synthesis(benchmark, arch):
+    desc = description_for(arch)
+
+    model = benchmark(lambda: synthesize(desc))
+    _rows[arch] = model
+    record(
+        "Table 2 — hardware synthesis statistics",
+        f"- **{desc.name}**: cycle {model.cycle_ns:.1f} ns,"
+        f" {model.verilog_lines} lines of Verilog,"
+        f" die {model.die_size:,.0f} grid cells"
+        f" (core {model.core_die_size:,.0f} excl. memory macros),"
+        f" synthesis {benchmark.stats.stats.mean:.3f} s",
+    )
+    assert model.cycle_ns > 0
+    assert model.verilog_lines > 100
+    if "spam" in _rows and "spam2" in _rows:
+        spam, spam2 = _rows["spam"], _rows["spam2"]
+        ratio = spam.core_die_size / spam2.core_die_size
+        record(
+            "Table 2 — hardware synthesis statistics",
+            f"- SPAM/SPAM2 core-die ratio: **{ratio:.1f}x** — the FP VLIW"
+            " is much larger, as in the paper",
+        )
+        assert spam.core_die_size > 2 * spam2.core_die_size
+        assert spam.verilog_lines > spam2.verilog_lines
+        assert spam.cycle_ns >= spam2.cycle_ns

@@ -1,0 +1,44 @@
+"""repro — ISDL-driven architecture exploration.
+
+A reproduction of "A Methodology for Accurate Performance Evaluation in
+Architecture Exploration" (Hadjiyiannis, Russo, Devadas; DAC 1999):
+the ISDL machine description language, the GENSIM generator of
+cycle-accurate bit-true instruction-level simulators (XSIM), the HGEN
+hardware-synthesis system, and the surrounding exploration methodology.
+
+Quickstart::
+
+    from repro import load_string, generate_simulator, assemble
+    desc = load_string(open("machine.isdl").read())
+    sim = generate_simulator(desc)
+    program = assemble(desc, open("program.s").read())
+    sim.load_words(program.words, program.origin)
+    sim.run_to_completion()
+    print(sim.stats.report(desc))
+"""
+
+from .asm import AssembledProgram, Assembler, assemble
+from .gensim import XSim, generate_simulator
+from .hgen import HardwareModel, synthesize
+from .isdl import check, load_file, load_string, parse, print_description
+from .vsim import NetlistSimulator, cosimulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssembledProgram",
+    "Assembler",
+    "assemble",
+    "XSim",
+    "generate_simulator",
+    "HardwareModel",
+    "synthesize",
+    "check",
+    "load_file",
+    "load_string",
+    "parse",
+    "print_description",
+    "NetlistSimulator",
+    "cosimulate",
+    "__version__",
+]

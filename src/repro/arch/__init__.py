@@ -1,0 +1,81 @@
+"""Example architectures (ISDL descriptions) and their workloads."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..asm import Assembler
+from ..errors import SimulationError
+from ..gensim.xsim import XSim
+from ..isdl import ast
+from . import acc8, risc16, spam, spam2, workloads
+from .workloads import Workload, all_workloads, workloads_for
+
+#: architecture name -> cached description loader
+ARCHITECTURES: Dict[str, Callable[[], ast.Description]] = {
+    "risc16": risc16.description,
+    "spam": spam.description,
+    "spam2": spam2.description,
+    "acc8": acc8.description,
+}
+
+
+def description_for(arch: str) -> ast.Description:
+    """Load the named architecture's (checked) description."""
+    return ARCHITECTURES[arch]()
+
+
+def prepare(workload: Workload,
+            sim: Optional[XSim] = None) -> Tuple[XSim, int]:
+    """Assemble a workload, preload memory, and load it into a simulator.
+
+    Returns ``(simulator, program_length)``; the simulator is ready to run.
+    """
+    desc = description_for(workload.arch)
+    if sim is None:
+        sim = XSim(desc)
+    for storage, contents in workload.preload.items():
+        for index, value in contents.items():
+            sim.write(storage, value, index)
+    program = Assembler(desc).assemble(workload.source,
+                                       filename=f"{workload.name}.s")
+    sim.load_words(program.words, program.origin)
+    return sim, len(program.words)
+
+
+def run_workload(workload: Workload, sim: Optional[XSim] = None,
+                 max_steps: int = 500_000) -> XSim:
+    """Run a workload to completion and verify its expected results."""
+    sim, _ = prepare(workload, sim)
+    sim.run_to_completion(max_steps)
+    failures: List[str] = []
+    for storage, contents in workload.expected.items():
+        for index, value in contents.items():
+            actual = sim.read(storage, index)
+            if actual != value:
+                failures.append(
+                    f"{storage}[{index}] = 0x{actual:x},"
+                    f" expected 0x{value:x}"
+                )
+    if failures:
+        raise SimulationError(
+            f"workload {workload.name!r} produced wrong results: "
+            + "; ".join(failures)
+        )
+    return sim
+
+
+__all__ = [
+    "ARCHITECTURES",
+    "description_for",
+    "prepare",
+    "run_workload",
+    "Workload",
+    "all_workloads",
+    "workloads_for",
+    "acc8",
+    "risc16",
+    "spam",
+    "spam2",
+    "workloads",
+]

@@ -1,0 +1,132 @@
+"""ACC8 — a tiny 8-bit accumulator machine.
+
+Exists to demonstrate the breadth of architectures ISDL covers (paper §2:
+"designed to cover as wide a range of architectures as possible"): a single
+accumulator, memory-operand addressing modes through a non-terminal with
+direct and register-indexed options — including an auto-increment option
+whose *side effect* updates the index register — and a hardware stack
+addressed by a stack-pointer register.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, load_string
+
+ISDL_SOURCE = r'''
+processor "ACC8"
+
+section format
+    word 16
+end
+
+section global_definitions
+    token ADDR immediate unsigned width 8
+    token IMM8 immediate unsigned width 8
+
+    nonterminal MEMOP width 10
+        option direct(addr: ADDR)
+            syntax "%addr"
+            encoding { bits[9:8] = 0b00; bits[7:0] = addr }
+            action { $$ <- DM[addr]; }
+        option indexed()
+            syntax "(X)"
+            encoding { bits[9:8] = 0b01 }
+            action { $$ <- DM[X]; }
+        option postinc()
+            syntax "(X)+"
+            encoding { bits[9:8] = 0b10 }
+            action { $$ <- DM[X]; }
+            side_effect { X <- X + 1; }
+            cost cycle 1
+    end
+end
+
+section storage
+    instruction_memory IM width 16 depth 256
+    data_memory DM width 8 depth 256
+    register ACC width 8
+    register X width 8
+    stack STK width 8 depth 16
+    register SP width 4
+    control_register Z width 1
+    control_register HALTED width 1
+    program_counter PC width 8
+end
+
+section instruction_set
+    field OP
+        operation nop()
+            encoding { bits[15:12] = 0b0000 }
+
+        operation lda(m: MEMOP)
+            encoding { bits[15:12] = 0b0001; bits[9:0] = m }
+            action { ACC <- m; }
+            side_effect { Z <- m == 0; }
+
+        operation sta(addr: ADDR)
+            encoding { bits[15:12] = 0b0010; bits[7:0] = addr }
+            action { DM[addr] <- ACC; }
+
+        operation ldi(v: IMM8)
+            syntax "ldi #%v"
+            encoding { bits[15:12] = 0b0011; bits[7:0] = v }
+            action { ACC <- v; }
+
+        operation add(m: MEMOP)
+            encoding { bits[15:12] = 0b0100; bits[9:0] = m }
+            action { ACC <- ACC + m; }
+            side_effect { Z <- ((ACC + m) & 0xFF) == 0; }
+
+        operation sub(m: MEMOP)
+            encoding { bits[15:12] = 0b0101; bits[9:0] = m }
+            action { ACC <- ACC - m; }
+            side_effect { Z <- ((ACC - m) & 0xFF) == 0; }
+
+        operation ldx(v: IMM8)
+            syntax "ldx #%v"
+            encoding { bits[15:12] = 0b0110; bits[7:0] = v }
+            action { X <- v; }
+
+        operation inx()
+            encoding { bits[15:12] = 0b0111 }
+            action { X <- X + 1; }
+
+        operation push()
+            encoding { bits[15:12] = 0b1000 }
+            action { STK[SP] <- ACC; SP <- SP + 1; }
+
+        operation pop()
+            encoding { bits[15:12] = 0b1001 }
+            action { ACC <- STK[SP - 1]; SP <- SP - 1; }
+
+        operation jmp(t: ADDR)
+            encoding { bits[15:12] = 0b1010; bits[7:0] = t }
+            action { PC <- t; }
+
+        operation bz(t: ADDR)
+            encoding { bits[15:12] = 0b1011; bits[7:0] = t }
+            action { if Z == 1 { PC <- t; } }
+
+        operation bnz(t: ADDR)
+            encoding { bits[15:12] = 0b1100; bits[7:0] = t }
+            action { if Z == 0 { PC <- t; } }
+
+        operation halt()
+            encoding { bits[15:12] = 0b1111 }
+            action { HALTED <- 1; }
+    end
+end
+
+section optional
+    attribute halt_flag "HALTED"
+    attribute technology "lsi10k"
+end
+'''
+
+
+@lru_cache(maxsize=None)
+def description() -> ast.Description:
+    """Parse and check the ACC8 description (cached)."""
+    return load_string(ISDL_SOURCE, filename="acc8.isdl")

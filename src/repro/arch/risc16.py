@@ -1,0 +1,180 @@
+"""RISC16 — a small 16-bit load/store RISC described in ISDL.
+
+This is the "simple architecture" used throughout the tests and the
+quickstart example.  One functional unit (a single ISDL field), eight
+general-purpose registers, a flags register with C/Z/N aliases, PC-relative
+conditional branches, and a halt flag surfaced through the optional section
+so generated simulators know when a program is done.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, load_string
+
+ISDL_SOURCE = r'''
+processor "RISC16"
+
+section format
+    word 24
+end
+
+section global_definitions
+    token REG prefix "R" range 0 .. 7
+    token UIMM8 immediate unsigned width 8
+    token SIMM8 immediate signed width 8
+    token UIMM10 immediate unsigned width 10
+
+    nonterminal SRC width 9
+        option reg(r: REG)
+            syntax "%r"
+            encoding { bits[8] = 0b0; bits[2:0] = r }
+            action { $$ <- RF[r]; }
+        option imm(v: UIMM8)
+            syntax "#%v"
+            encoding { bits[8] = 0b1; bits[7:0] = v }
+            action { $$ <- v; }
+    end
+end
+
+section storage
+    instruction_memory IM width 24 depth 1024
+    data_memory DM width 16 depth 256
+    register_file RF width 16 depth 8
+    control_register CCR width 4
+    control_register HALTED width 1
+    program_counter PC width 10
+
+    alias C = CCR[0]
+    alias Z = CCR[1]
+    alias N = CCR[2]
+end
+
+section instruction_set
+    field EX
+        operation nop()
+            encoding { bits[23:19] = 0b00000 }
+
+        operation add(d: REG, a: REG, b: SRC)
+            encoding { bits[23:19] = 0b00001; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] + b; }
+            side_effect {
+                C <- carry(RF[a], b, 16);
+                Z <- ((RF[a] + b) & 0xFFFF) == 0;
+                N <- bit(RF[a] + b, 15);
+            }
+
+        operation sub(d: REG, a: REG, b: SRC)
+            encoding { bits[23:19] = 0b00010; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] - b; }
+            side_effect {
+                C <- borrow(RF[a], b, 16);
+                Z <- ((RF[a] - b) & 0xFFFF) == 0;
+                N <- bit(RF[a] - b, 15);
+            }
+
+        operation and_(d: REG, a: REG, b: SRC)
+            syntax "and %d, %a, %b"
+            encoding { bits[23:19] = 0b00011; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] & b; }
+            side_effect { Z <- (RF[a] & b) == 0; }
+
+        operation or_(d: REG, a: REG, b: SRC)
+            syntax "or %d, %a, %b"
+            encoding { bits[23:19] = 0b00100; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] | b; }
+            side_effect { Z <- (RF[a] | b) == 0; }
+
+        operation xor_(d: REG, a: REG, b: SRC)
+            syntax "xor %d, %a, %b"
+            encoding { bits[23:19] = 0b00101; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] ^ b; }
+            side_effect { Z <- (RF[a] ^ b) == 0; }
+
+        operation shl(d: REG, a: REG, b: SRC)
+            encoding { bits[23:19] = 0b00110; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] << (b & 0xF); }
+
+        operation shr(d: REG, a: REG, b: SRC)
+            encoding { bits[23:19] = 0b00111; bits[18:16] = d;
+                       bits[15:13] = a; bits[12:4] = b }
+            action { RF[d] <- RF[a] >> (b & 0xF); }
+
+        operation mov(d: REG, b: SRC)
+            encoding { bits[23:19] = 0b01001; bits[18:16] = d;
+                       bits[12:4] = b }
+            action { RF[d] <- b; }
+
+        operation ldi(d: REG, v: UIMM8)
+            syntax "ldi %d, #%v"
+            encoding { bits[23:19] = 0b01010; bits[18:16] = d;
+                       bits[12:5] = v }
+            action { RF[d] <- v; }
+
+        operation ld(d: REG, a: REG)
+            syntax "ld %d, (%a)"
+            encoding { bits[23:19] = 0b01011; bits[18:16] = d;
+                       bits[15:13] = a }
+            action { RF[d] <- DM[RF[a] & 0xFF]; }
+            cost cycle 2
+
+        operation st(a: REG, b: REG)
+            syntax "st (%a), %b"
+            encoding { bits[23:19] = 0b01100; bits[15:13] = a;
+                       bits[12:10] = b }
+            action { DM[RF[a] & 0xFF] <- RF[b]; }
+            cost cycle 2
+
+        operation cmp(a: REG, b: SRC)
+            encoding { bits[23:19] = 0b01101; bits[15:13] = a;
+                       bits[12:4] = b }
+            side_effect {
+                C <- borrow(RF[a], b, 16);
+                Z <- ((RF[a] - b) & 0xFFFF) == 0;
+                N <- bit(RF[a] - b, 15);
+            }
+
+        operation beq(t: SIMM8)
+            encoding { bits[23:19] = 0b01110; bits[12:5] = t }
+            action { if Z == 1 { PC <- PC + t; } }
+
+        operation bne(t: SIMM8)
+            encoding { bits[23:19] = 0b01111; bits[12:5] = t }
+            action { if Z == 0 { PC <- PC + t; } }
+
+        operation blt(t: SIMM8)
+            encoding { bits[23:19] = 0b10000; bits[12:5] = t }
+            action { if N == 1 { PC <- PC + t; } }
+
+        operation jmp(t: UIMM10)
+            encoding { bits[23:19] = 0b10001; bits[12:3] = t }
+            action { PC <- t; }
+
+        operation jal(t: UIMM10)
+            encoding { bits[23:19] = 0b10010; bits[12:3] = t }
+            action { RF[7] <- PC + 1; PC <- t; }
+
+        operation halt()
+            encoding { bits[23:19] = 0b11111 }
+            action { HALTED <- 1; }
+    end
+end
+
+section optional
+    attribute halt_flag "HALTED"
+    attribute technology "lsi10k"
+end
+'''
+
+
+@lru_cache(maxsize=None)
+def description() -> ast.Description:
+    """Parse and check the RISC16 description (cached)."""
+    return load_string(ISDL_SOURCE, filename="risc16.isdl")

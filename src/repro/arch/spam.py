@@ -1,0 +1,275 @@
+"""SPAM — the paper's 4-way floating-point VLIW target (paper §6.1).
+
+"The target architecture is a 4-way floating-point VLIW processor we
+designed (SPAM), that can do 4 operations and 3 parallel moves at the same
+time."  Re-created from that description: a 96-bit instruction word with
+seven ISDL fields — two FP units (add-class and multiply-class), an integer
+ALU with branches, a load/store unit, and three parallel register-move
+buses.  FP operations are IEEE-754 single precision via the FP intrinsics
+(macro datapath blocks in HGEN).
+
+The constraints mirror the paper's §4.1.1 resource-sharing example: the
+load/store unit borrows the third move bus, so ``st``/``ld`` may not issue
+together with ``MV3.mov`` — which in turn lets HGEN share that bus.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, load_string
+
+ISDL_SOURCE = r'''
+processor "SPAM"
+
+section format
+    word 96
+end
+
+section global_definitions
+    token REG prefix "R" range 0 .. 15
+    token UIMM8 immediate unsigned width 8
+    token SIMM9 immediate signed width 9
+    token UIMM10 immediate unsigned width 10
+
+    nonterminal ISRC width 9
+        option reg(r: REG)
+            syntax "%r"
+            encoding { bits[8] = 0b0; bits[3:0] = r }
+            action { $$ <- RF[r]; }
+        option imm(v: UIMM8)
+            syntax "#%v"
+            encoding { bits[8] = 0b1; bits[7:0] = v }
+            action { $$ <- v; }
+    end
+end
+
+section storage
+    instruction_memory IM width 96 depth 4096
+    data_memory DM width 32 depth 1024
+    register_file RF width 32 depth 16
+    control_register FEQ width 1
+    control_register FLT width 1
+    control_register ZF width 1
+    control_register HALTED width 1
+    program_counter PC width 12
+end
+
+section instruction_set
+    field FP1
+        operation fnop()
+            encoding { bits[95:92] = 0b0000 }
+
+        operation fadd(d: REG, a: REG, b: REG)
+            encoding { bits[95:92] = 0b0001; bits[91:88] = d;
+                       bits[87:84] = a; bits[83:80] = b }
+            action { RF[d] <- fadd(RF[a], RF[b]); }
+            cost cycle 1 stall 1
+            timing latency 2 usage 1
+
+        operation fsub(d: REG, a: REG, b: REG)
+            encoding { bits[95:92] = 0b0010; bits[91:88] = d;
+                       bits[87:84] = a; bits[83:80] = b }
+            action { RF[d] <- fsub(RF[a], RF[b]); }
+            cost cycle 1 stall 1
+            timing latency 2 usage 1
+
+        operation fcmp(a: REG, b: REG)
+            encoding { bits[95:92] = 0b0011; bits[87:84] = a;
+                       bits[83:80] = b }
+            side_effect {
+                FEQ <- fcmp(RF[a], RF[b]) == 0;
+                FLT <- fcmp(RF[a], RF[b]) == -1;
+            }
+            cost cycle 1 stall 0
+
+        operation fneg(d: REG, a: REG)
+            encoding { bits[95:92] = 0b0100; bits[91:88] = d;
+                       bits[87:84] = a }
+            action { RF[d] <- fneg(RF[a]); }
+
+        operation fabs(d: REG, a: REG)
+            encoding { bits[95:92] = 0b0101; bits[91:88] = d;
+                       bits[87:84] = a }
+            action { RF[d] <- fabs(RF[a]); }
+    end
+
+    field FP2
+        operation mnop()
+            syntax "fnop2"
+            encoding { bits[79:76] = 0b0000 }
+
+        operation fmul(d: REG, a: REG, b: REG)
+            encoding { bits[79:76] = 0b0001; bits[75:72] = d;
+                       bits[71:68] = a; bits[67:64] = b }
+            action { RF[d] <- fmul(RF[a], RF[b]); }
+            cost cycle 1 stall 2
+            timing latency 3 usage 1
+
+        operation fdiv(d: REG, a: REG, b: REG)
+            encoding { bits[79:76] = 0b0010; bits[75:72] = d;
+                       bits[71:68] = a; bits[67:64] = b }
+            action { RF[d] <- fdiv(RF[a], RF[b]); }
+            cost cycle 8 stall 0
+            timing latency 8 usage 8
+
+        operation itof(d: REG, a: REG)
+            encoding { bits[79:76] = 0b0011; bits[75:72] = d;
+                       bits[71:68] = a }
+            action { RF[d] <- itof(RF[a], 32); }
+            cost cycle 1 stall 1
+            timing latency 2 usage 1
+
+        operation ftoi(d: REG, a: REG)
+            encoding { bits[79:76] = 0b0100; bits[75:72] = d;
+                       bits[71:68] = a }
+            action { RF[d] <- ftoi(RF[a], 32); }
+            cost cycle 1 stall 1
+            timing latency 2 usage 1
+    end
+
+    field INT
+        operation inop()
+            encoding { bits[63:59] = 0b00000 }
+
+        operation add(d: REG, a: REG, b: ISRC)
+            encoding { bits[63:59] = 0b00001; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] + b; }
+            side_effect { ZF <- ((RF[a] + b) & 0xFFFFFFFF) == 0; }
+
+        operation sub(d: REG, a: REG, b: ISRC)
+            encoding { bits[63:59] = 0b00010; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] - b; }
+            side_effect { ZF <- ((RF[a] - b) & 0xFFFFFFFF) == 0; }
+
+        operation and_(d: REG, a: REG, b: ISRC)
+            syntax "and %d, %a, %b"
+            encoding { bits[63:59] = 0b00011; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] & b; }
+
+        operation or_(d: REG, a: REG, b: ISRC)
+            syntax "or %d, %a, %b"
+            encoding { bits[63:59] = 0b00100; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] | b; }
+
+        operation xor_(d: REG, a: REG, b: ISRC)
+            syntax "xor %d, %a, %b"
+            encoding { bits[63:59] = 0b00101; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] ^ b; }
+
+        operation shl(d: REG, a: REG, b: ISRC)
+            encoding { bits[63:59] = 0b00110; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] << (b & 0x1F); }
+
+        operation shr(d: REG, a: REG, b: ISRC)
+            encoding { bits[63:59] = 0b00111; bits[58:55] = d;
+                       bits[54:51] = a; bits[50:42] = b }
+            action { RF[d] <- RF[a] >> (b & 0x1F); }
+
+        operation ldi(d: REG, v: UIMM8)
+            syntax "ldi %d, #%v"
+            encoding { bits[63:59] = 0b01000; bits[58:55] = d;
+                       bits[49:42] = v }
+            action { RF[d] <- v; }
+
+        operation bnez(a: REG, t: SIMM9)
+            encoding { bits[63:59] = 0b01001; bits[54:51] = a;
+                       bits[50:42] = t }
+            action { if RF[a] != 0 { PC <- PC + t; } }
+
+        operation beqz(a: REG, t: SIMM9)
+            encoding { bits[63:59] = 0b01010; bits[54:51] = a;
+                       bits[50:42] = t }
+            action { if RF[a] == 0 { PC <- PC + t; } }
+
+        operation bfeq(t: SIMM9)
+            encoding { bits[63:59] = 0b01011; bits[50:42] = t }
+            action { if FEQ == 1 { PC <- PC + t; } }
+
+        operation bflt(t: SIMM9)
+            encoding { bits[63:59] = 0b01100; bits[50:42] = t }
+            action { if FLT == 1 { PC <- PC + t; } }
+
+        operation jmp(t: UIMM10)
+            encoding { bits[63:59] = 0b01101; bits[51:42] = t }
+            action { PC <- t; }
+
+        operation halt()
+            encoding { bits[63:59] = 0b11111 }
+            action { HALTED <- 1; }
+    end
+
+    field LSU
+        operation lnop()
+            encoding { bits[41:40] = 0b00 }
+
+        operation ld(d: REG, a: REG)
+            syntax "ld %d, (%a)"
+            encoding { bits[41:40] = 0b01; bits[39:36] = d;
+                       bits[35:32] = a }
+            action { RF[d] <- DM[RF[a] & 0x3FF]; }
+            cost cycle 1 stall 1
+            timing latency 2 usage 1
+
+        operation st(s: REG, a: REG)
+            syntax "st (%a), %s"
+            encoding { bits[41:40] = 0b10; bits[39:36] = s;
+                       bits[35:32] = a }
+            action { DM[RF[a] & 0x3FF] <- RF[s]; }
+    end
+
+    field MV1
+        operation mnop()
+            syntax "mnop1"
+            encoding { bits[27] = 0b0 }
+        operation mov(d: REG, s: REG)
+            encoding { bits[27] = 0b1; bits[26:23] = d; bits[22:19] = s }
+            action { RF[d] <- RF[s]; }
+    end
+
+    field MV2
+        operation mnop()
+            syntax "mnop2"
+            encoding { bits[18] = 0b0 }
+        operation mov(d: REG, s: REG)
+            encoding { bits[18] = 0b1; bits[17:14] = d; bits[13:10] = s }
+            action { RF[d] <- RF[s]; }
+    end
+
+    field MV3
+        operation mnop()
+            syntax "mnop3"
+            encoding { bits[9] = 0b0 }
+        operation mov(d: REG, s: REG)
+            encoding { bits[9] = 0b1; bits[8:5] = d; bits[4:1] = s }
+            action { RF[d] <- RF[s]; }
+    end
+end
+
+section constraints
+    # The load/store unit borrows the third move bus (paper 4.1.1): memory
+    # operations and MV3 moves are mutually exclusive, which lets HGEN
+    # implement them on one set of data paths.
+    forbid LSU.ld & MV3.mov
+    forbid LSU.st & MV3.mov
+    # The iterative divider blocks the branch adder's result bus.
+    forbid FP2.fdiv & INT.jmp
+end
+
+section optional
+    attribute halt_flag "HALTED"
+    attribute technology "lsi10k"
+end
+'''
+
+
+@lru_cache(maxsize=None)
+def description() -> ast.Description:
+    """Parse and check the SPAM description (cached)."""
+    return load_string(ISDL_SOURCE, filename="spam.isdl")

@@ -1,0 +1,146 @@
+"""SPAM2 — the paper's simpler 3-way VLIW (paper §6.1, Table 2).
+
+"A simpler 3-way VLIW architecture with a limited number of operations":
+re-created as a 48-bit-word, 16-bit-integer machine with an ALU field
+(including control flow), a memory field, and a single parallel-move bus.
+No floating point — the contrast with SPAM in Table 2 (die size, cycle
+length) comes largely from dropping the FP macro datapaths and narrowing
+the machine.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isdl import ast, load_string
+
+ISDL_SOURCE = r'''
+processor "SPAM2"
+
+section format
+    word 48
+end
+
+section global_definitions
+    token REG prefix "R" range 0 .. 7
+    token UIMM8 immediate unsigned width 8
+    token SIMM8 immediate signed width 8
+    token UIMM9 immediate unsigned width 9
+
+    nonterminal ISRC width 9
+        option reg(r: REG)
+            syntax "%r"
+            encoding { bits[8] = 0b0; bits[2:0] = r }
+            action { $$ <- RF[r]; }
+        option imm(v: UIMM8)
+            syntax "#%v"
+            encoding { bits[8] = 0b1; bits[7:0] = v }
+            action { $$ <- v; }
+    end
+end
+
+section storage
+    instruction_memory IM width 48 depth 512
+    data_memory DM width 16 depth 256
+    register_file RF width 16 depth 8
+    control_register ZF width 1
+    control_register HALTED width 1
+    program_counter PC width 9
+end
+
+section instruction_set
+    field ALU
+        operation anop()
+            encoding { bits[47:44] = 0b0000 }
+
+        operation add(d: REG, a: REG, b: ISRC)
+            encoding { bits[47:44] = 0b0001; bits[43:41] = d;
+                       bits[40:38] = a; bits[37:29] = b }
+            action { RF[d] <- RF[a] + b; }
+            side_effect { ZF <- ((RF[a] + b) & 0xFFFF) == 0; }
+
+        operation sub(d: REG, a: REG, b: ISRC)
+            encoding { bits[47:44] = 0b0010; bits[43:41] = d;
+                       bits[40:38] = a; bits[37:29] = b }
+            action { RF[d] <- RF[a] - b; }
+            side_effect { ZF <- ((RF[a] - b) & 0xFFFF) == 0; }
+
+        operation and_(d: REG, a: REG, b: ISRC)
+            syntax "and %d, %a, %b"
+            encoding { bits[47:44] = 0b0011; bits[43:41] = d;
+                       bits[40:38] = a; bits[37:29] = b }
+            action { RF[d] <- RF[a] & b; }
+
+        operation shl(d: REG, a: REG, b: ISRC)
+            encoding { bits[47:44] = 0b0100; bits[43:41] = d;
+                       bits[40:38] = a; bits[37:29] = b }
+            action { RF[d] <- RF[a] << (b & 0xF); }
+
+        operation ldi(d: REG, v: UIMM8)
+            syntax "ldi %d, #%v"
+            encoding { bits[47:44] = 0b0101; bits[43:41] = d;
+                       bits[36:29] = v }
+            action { RF[d] <- v; }
+
+        operation bnz(t: SIMM8)
+            encoding { bits[47:44] = 0b0110; bits[36:29] = t }
+            action { if ZF == 0 { PC <- PC + t; } }
+
+        operation bz(t: SIMM8)
+            encoding { bits[47:44] = 0b0111; bits[36:29] = t }
+            action { if ZF == 1 { PC <- PC + t; } }
+
+        operation jmp(t: UIMM9)
+            encoding { bits[47:44] = 0b1000; bits[37:29] = t }
+            action { PC <- t; }
+
+        operation halt()
+            encoding { bits[47:44] = 0b1111 }
+            action { HALTED <- 1; }
+    end
+
+    field MEM
+        operation mnop()
+            syntax "memnop"
+            encoding { bits[28:27] = 0b00 }
+
+        operation ld(d: REG, a: REG)
+            syntax "ld %d, (%a)"
+            encoding { bits[28:27] = 0b01; bits[26:24] = d;
+                       bits[23:21] = a }
+            action { RF[d] <- DM[RF[a] & 0xFF]; }
+            cost cycle 1 stall 1
+            timing latency 2 usage 1
+
+        operation st(s: REG, a: REG)
+            syntax "st (%a), %s"
+            encoding { bits[28:27] = 0b10; bits[26:24] = s;
+                       bits[23:21] = a }
+            action { DM[RF[a] & 0xFF] <- RF[s]; }
+    end
+
+    field MV
+        operation mvnop()
+            encoding { bits[20] = 0b0 }
+        operation mov(d: REG, s: REG)
+            encoding { bits[20] = 0b1; bits[19:17] = d; bits[16:14] = s }
+            action { RF[d] <- RF[s]; }
+    end
+end
+
+section constraints
+    # The single move bus doubles as the store data path.
+    forbid MEM.st & MV.mov
+end
+
+section optional
+    attribute halt_flag "HALTED"
+    attribute technology "lsi10k"
+end
+'''
+
+
+@lru_cache(maxsize=None)
+def description() -> ast.Description:
+    """Parse and check the SPAM2 description (cached)."""
+    return load_string(ISDL_SOURCE, filename="spam2.isdl")

@@ -1,0 +1,423 @@
+"""Benchmark kernels for the example architectures.
+
+The paper does not name its workloads; these are the embedded-DSP kernels
+its introduction motivates (filters, dot products, block moves) plus control
+code, written as hand-scheduled assembly the way a mid-90s VLIW programmer
+(or the AVIV code generator) would emit it.  Every workload carries its data
+preload and the expected architectural results, so the same object drives
+correctness tests, co-simulation, and the Table 1 speed measurements.
+
+All kernels are scheduled hazard-free (no stall cycles) so they may run on
+both the ILS and the interlock-less hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .. import fp
+
+#: preload/expect maps: storage name -> {index: value}
+MemMap = Dict[str, Dict[int, int]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One runnable kernel: source, initial memory, expected results."""
+
+    name: str
+    arch: str
+    source: str
+    preload: MemMap = field(default_factory=dict)
+    expected: MemMap = field(default_factory=dict)
+    description: str = ""
+
+
+# ---------------------------------------------------------------------------
+# RISC16 kernels
+# ---------------------------------------------------------------------------
+
+
+def risc16_sum_loop(n: int = 10) -> Workload:
+    """Sum the integers 1..n into R1 and store at DM[0]."""
+    expected = n * (n + 1) // 2
+    source = f"""
+; sum 1..{n}
+        ldi r0, #{n}
+        ldi r1, #0
+        ldi r2, #0
+loop:   add r1, r1, r0
+        sub r0, r0, #1
+        bne loop - .
+        st (r2), r1
+        halt
+"""
+    return Workload(
+        "sum_loop", "risc16", source,
+        expected={"DM": {0: expected & 0xFFFF}},
+        description=f"control-flow loop summing 1..{n}",
+    )
+
+
+def risc16_dot_product(vec_a: Tuple[int, ...] = (3, 1, 4, 1, 5, 9, 2, 6),
+                       vec_b: Tuple[int, ...] = (2, 7, 1, 8, 2, 8, 1, 8)
+                       ) -> Workload:
+    """Integer dot product via shift-and-add multiplication."""
+    n = len(vec_a)
+    assert len(vec_b) == n
+    dot = sum(a * b for a, b in zip(vec_a, vec_b)) & 0xFFFF
+    preload = {"DM": {i: v for i, v in enumerate(vec_a)}}
+    preload["DM"].update({n + i: v for i, v in enumerate(vec_b)})
+    # R0 = &a, R1 = &b, R2 = count, R3 = acc, R4/R5 operands, R6 = bit count
+    source = f"""
+; integer dot product, software multiply (8x8)
+        ldi r0, #0
+        ldi r1, #{n}
+        ldi r2, #{n}
+        ldi r3, #0
+loop:   ld r4, (r0)
+        ld r5, (r1)
+        ldi r6, #8          ; 8-bit multiplier loop
+mul:    and r7, r5, #1
+        cmp r7, #0
+        beq skip - .
+        add r3, r3, r4
+skip:   shl r4, r4, #1
+        shr r5, r5, #1
+        sub r6, r6, #1
+        bne mul - .
+        add r0, r0, #1
+        add r1, r1, #1
+        sub r2, r2, #1
+        bne loop - .
+        ldi r0, #{2 * n}
+        st (r0), r3
+        halt
+"""
+    return Workload(
+        "dot_product", "risc16", source, preload,
+        expected={"DM": {2 * n: dot}},
+        description=f"{n}-element integer dot product",
+    )
+
+
+def risc16_fir(taps: Tuple[int, ...] = (1, 2, 3, 2),
+               samples: Tuple[int, ...] = (5, 0, 3, 7, 1, 4, 2, 6, 8, 1)
+               ) -> Workload:
+    """FIR filter via repeated addition (coefficient-many adds).
+
+    Output y[i] = sum_k taps[k] * x[i+k] for the valid range; taps are small
+    so multiplication unrolls into adds at assembly-generation time.
+    """
+    n_out = len(samples) - len(taps) + 1
+    outputs = [
+        sum(t * samples[i + k] for k, t in enumerate(taps)) & 0xFFFF
+        for i in range(n_out)
+    ]
+    x_base, y_base = 0, 64
+    preload = {"DM": {x_base + i: v for i, v in enumerate(samples)}}
+    lines: List[str] = [
+        "; FIR filter, coefficients unrolled into adds",
+        f"        ldi r0, #{x_base}      ; x pointer",
+        f"        ldi r1, #{y_base}      ; y pointer",
+        f"        ldi r2, #{n_out}       ; output count",
+        "outer:  ldi r3, #0",
+        "        mov r4, r0",
+    ]
+    for tap_index, tap in enumerate(taps):
+        lines.append(f"        ld r5, (r4)        ; x[i+{tap_index}]")
+        for _ in range(tap):
+            lines.append("        add r3, r3, r5")
+        if tap_index != len(taps) - 1:
+            lines.append("        add r4, r4, #1")
+    lines += [
+        "        st (r1), r3",
+        "        add r0, r0, #1",
+        "        add r1, r1, #1",
+        "        sub r2, r2, #1",
+        "        bne outer - .",
+        "        halt",
+    ]
+    return Workload(
+        "fir", "risc16", "\n".join(lines) + "\n", preload,
+        expected={"DM": {y_base + i: v for i, v in enumerate(outputs)}},
+        description=f"{len(taps)}-tap FIR over {len(samples)} samples",
+    )
+
+
+def risc16_memcpy(n: int = 16) -> Workload:
+    """Block move of n words from DM[0..] to DM[32..]."""
+    data = [(i * 37 + 11) & 0xFFFF for i in range(n)]
+    source = f"""
+; block move
+        ldi r0, #0
+        ldi r1, #32
+        ldi r2, #{n}
+loop:   ld r3, (r0)
+        st (r1), r3
+        add r0, r0, #1
+        add r1, r1, #1
+        sub r2, r2, #1
+        bne loop - .
+        halt
+"""
+    return Workload(
+        "memcpy", "risc16", source,
+        preload={"DM": {i: v for i, v in enumerate(data)}},
+        expected={"DM": {32 + i: v for i, v in enumerate(data)}},
+        description=f"{n}-word block move",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SPAM kernels (floating point, VLIW-parallel, hand-scheduled)
+# ---------------------------------------------------------------------------
+
+
+def spam_dot_product(vec_a: Tuple[float, ...] = (1.5, -2.25, 3.0, 0.5,
+                                                 4.75, -1.0, 2.5, 8.0),
+                     vec_b: Tuple[float, ...] = (2.0, 3.5, -1.25, 4.0,
+                                                 0.5, 6.0, -2.0, 0.25)
+                     ) -> Workload:
+    """Single-precision dot product with parallel address updates."""
+    n = len(vec_a)
+    assert len(vec_b) == n
+    # Bit-true expected accumulation (sequential fadd of fmul results).
+    acc = fp.float_to_bits(0.0)
+    for a, b in zip(vec_a, vec_b):
+        prod = fp.fmul(fp.float_to_bits(a), fp.float_to_bits(b))
+        acc = fp.fadd(acc, prod)
+    preload = {
+        "DM": {i: fp.float_to_bits(v) for i, v in enumerate(vec_a)},
+    }
+    preload["DM"].update(
+        {n + i: fp.float_to_bits(v) for i, v in enumerate(vec_b)}
+    )
+    result_addr = 2 * n
+    source = f"""
+; FP dot product: loads paired with pointer updates in one VLIW line
+        ldi r0, #0          ; &a
+        ldi r1, #{n}        ; &b
+        ldi r2, #{n}        ; count
+        ldi r3, #0          ; acc = 0.0f
+        ldi r7, #{result_addr}
+loop:   ld r4, (r0) | add r0, r0, #1
+        ld r5, (r1) | add r1, r1, #1
+        sub r2, r2, #1
+        fmul r6, r4, r5
+        inop
+        inop
+        fadd r3, r3, r6
+        bnez r2, loop - .
+        st (r7), r3
+        halt
+"""
+    return Workload(
+        "fp_dot_product", "spam", source, preload,
+        expected={"DM": {result_addr: acc}},
+        description=f"{n}-element single-precision dot product",
+    )
+
+
+def spam_vector_scale(scale: float = 2.5,
+                      values: Tuple[float, ...] = (1.0, -2.0, 3.5, 0.25,
+                                                   -4.75, 6.0, 7.125, -0.5)
+                      ) -> Workload:
+    """out[i] = scale * x[i], with the store overlapped with the next load."""
+    n = len(values)
+    scale_bits = fp.float_to_bits(scale)
+    out = [fp.fmul(scale_bits, fp.float_to_bits(v)) for v in values]
+    x_base, y_base = 0, 32
+    preload = {"DM": {x_base + i: fp.float_to_bits(v)
+                      for i, v in enumerate(values)}}
+    preload["DM"].update({100: scale_bits})
+    source = f"""
+; vector scale by a loaded coefficient
+        ldi r7, #100
+        ld r8, (r7)          ; scale
+        ldi r0, #{x_base}
+        ldi r1, #{y_base}
+        ldi r2, #{n}
+loop:   ld r4, (r0) | add r0, r0, #1
+        sub r2, r2, #1
+        fmul r5, r8, r4
+        inop
+        inop
+        st (r1), r5 | add r1, r1, #1
+        bnez r2, loop - .
+        halt
+"""
+    return Workload(
+        "fp_vector_scale", "spam", source, preload,
+        expected={"DM": {y_base + i: v for i, v in enumerate(out)}},
+        description=f"scale {n} floats by {scale}",
+    )
+
+
+def spam_parallel_moves() -> Workload:
+    """Exercise all three move buses plus two FP units in one instruction."""
+    a, b = fp.float_to_bits(1.5), fp.float_to_bits(2.5)
+    total = fp.fadd(a, b)  # 4.0
+    prod = fp.fmul(a, b)  # 3.75
+    source = """
+; 4 operations + 3 parallel moves in single instructions
+        ldi r0, #0
+        ldi r1, #1
+        ld r2, (r0)
+        ld r3, (r1)
+        inop
+        fadd r4, r2, r3 | fmul r5, r2, r3 | add r6, r6, #7 | mov r8, r2 | mov r9, r3 | mov r10, r6
+        inop
+        inop
+        st (r1), r4
+        ldi r7, #2
+        st (r7), r5
+        halt
+"""
+    return Workload(
+        "parallel_moves", "spam", source,
+        preload={"DM": {0: a, 1: b}},
+        expected={"DM": {1: total, 2: prod}},
+        description="max-width VLIW issue: 4 ops + 3 moves",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SPAM2 kernels
+# ---------------------------------------------------------------------------
+
+
+def spam2_sum_loop(n: int = 12) -> Workload:
+    """Sum 1..n on the 3-way machine (the ALU's ZF drives the branch)."""
+    expected = (n * (n + 1) // 2) & 0xFFFF
+    source = f"""
+; sum 1..{n}
+        ldi r0, #{n}
+        ldi r1, #0
+        ldi r2, #0
+loop:   add r1, r1, r0
+        sub r0, r0, #1
+        bnz loop - .
+        st (r2), r1
+        halt
+"""
+    return Workload(
+        "sum_loop2", "spam2", source,
+        expected={"DM": {0: expected}},
+        description=f"control-flow loop summing 1..{n}",
+    )
+
+
+def spam2_vector_add(vec_a: Tuple[int, ...] = (10, 20, 30, 40, 50, 60, 7, 9),
+                     vec_b: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+                     ) -> Workload:
+    """out[i] = a[i] + b[i], software-pipelined over all three fields.
+
+    The move bus carries the output pointer while the memory unit streams
+    — and the single flag register forces the schedule to keep the
+    loop-count subtract as the last flag writer before the branch.
+    """
+    n = len(vec_a)
+    out = [(a + b) & 0xFFFF for a, b in zip(vec_a, vec_b)]
+    a_base, b_base, out_base = 0, 16, 32
+    preload = {"DM": {a_base + i: v for i, v in enumerate(vec_a)}}
+    preload["DM"].update({b_base + i: v for i, v in enumerate(vec_b)})
+    source = f"""
+; element-wise vector add
+        ldi r0, #{a_base}
+        ldi r1, #{b_base}
+        ldi r2, #{out_base}
+        ldi r3, #{n}
+loop:   ld r4, (r0) | add r0, r0, #1
+        ld r5, (r1) | add r1, r1, #1 | mov r7, r2
+        add r2, r2, #1
+        add r6, r4, r5
+        st (r7), r6 | sub r3, r3, #1
+        bnz loop - .
+        halt
+"""
+    return Workload(
+        "vector_add", "spam2", source, preload,
+        expected={"DM": {out_base + i: v for i, v in enumerate(out)}},
+        description=f"{n}-element vector add on 3 issue slots",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ACC8 kernels
+# ---------------------------------------------------------------------------
+
+
+def acc8_sum_array(values: Tuple[int, ...] = (10, 20, 30, 40, 7)) -> Workload:
+    """Sum an array using the (X)+ auto-increment addressing mode."""
+    n = len(values)
+    total = sum(values) & 0xFF
+    lines = [
+        "; sum via post-increment addressing",
+        "        ldx #0",
+        "        ldi #0",
+    ]
+    lines += ["        add (X)+"] * n
+    lines += [
+        f"        sta {n}",
+        "        halt",
+    ]
+    return Workload(
+        "sum_array", "acc8", "\n".join(lines) + "\n",
+        preload={"DM": {i: v for i, v in enumerate(values)}},
+        expected={"DM": {n: total}},
+        description=f"sum of {n} bytes with auto-increment",
+    )
+
+
+def acc8_stack_reverse() -> Workload:
+    """Push three values, pop them back in reverse order."""
+    source = """
+; stack discipline
+        ldi #1
+        push
+        ldi #2
+        push
+        ldi #3
+        push
+        pop
+        sta 10
+        pop
+        sta 11
+        pop
+        sta 12
+        halt
+"""
+    return Workload(
+        "stack_reverse", "acc8", source,
+        expected={"DM": {10: 3, 11: 2, 12: 1}},
+        description="hardware stack push/pop",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def all_workloads() -> List[Workload]:
+    """Every kernel with default parameters."""
+    return [
+        risc16_sum_loop(),
+        risc16_dot_product(),
+        risc16_fir(),
+        risc16_memcpy(),
+        spam_dot_product(),
+        spam_vector_scale(),
+        spam_parallel_moves(),
+        spam2_sum_loop(),
+        spam2_vector_add(),
+        acc8_sum_array(),
+        acc8_stack_reverse(),
+    ]
+
+
+def workloads_for(arch: str) -> List[Workload]:
+    """Kernels targeting one architecture."""
+    return [w for w in all_workloads() if w.arch == arch]

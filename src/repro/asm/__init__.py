@@ -1,0 +1,5 @@
+"""The retargetable assembler (paper Fig. 1, ref [3])."""
+
+from .assembler import AssembledProgram, Assembler, assemble
+
+__all__ = ["AssembledProgram", "Assembler", "assemble"]

@@ -1,0 +1,25 @@
+"""A minimal retargetable code generator (stand-in for AVIV, paper ref [2])."""
+
+from .compile import CompiledProgram, Compiler, compile_kernel
+from .ir import Cond, Imm, IrOp, Kernel, KernelBuilder, Opcode, VReg
+from .regalloc import allocate, live_intervals, max_pressure
+from .select import Pattern, TargetIsa, analyze
+
+__all__ = [
+    "CompiledProgram",
+    "Compiler",
+    "compile_kernel",
+    "Cond",
+    "Imm",
+    "IrOp",
+    "Kernel",
+    "KernelBuilder",
+    "Opcode",
+    "VReg",
+    "allocate",
+    "live_intervals",
+    "max_pressure",
+    "Pattern",
+    "TargetIsa",
+    "analyze",
+]

@@ -1,0 +1,309 @@
+"""A tiny three-address IR for the retargetable code generator.
+
+The paper's methodology compiles application code with the AVIV retargetable
+compiler (ref [2]); this package is our stand-in so the Figure-1 loop can be
+driven end-to-end.  The IR is deliberately small: virtual registers, integer
+and single-precision float arithmetic, loads/stores, compare-and-branch,
+labels, and halt.  A :class:`KernelBuilder` offers a convenient way to write
+kernels from Python.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import CodegenError
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"v{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate (also used for raw float bit patterns)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+Value = Union[VReg, Imm]
+
+
+class Opcode(enum.Enum):
+    """IR operations."""
+
+    LI = "li"  # dst <- imm
+    MOV = "mov"  # dst <- src
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MUL = "mul"
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    LOAD = "load"  # dst <- mem[addr]
+    STORE = "store"  # mem[addr] <- src
+    LABEL = "label"
+    JUMP = "jump"
+    CBR = "cbr"  # conditional branch: if (a COND b) goto label
+    HALT = "halt"
+
+
+class Cond(enum.Enum):
+    """Comparison kinds for :attr:`Opcode.CBR`."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"  # signed less-than
+
+
+#: opcodes computing dst from two register/immediate operands
+BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.MUL,
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+    }
+)
+
+FLOAT_OPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+)
+
+
+@dataclass(frozen=True)
+class IrOp:
+    """One IR instruction."""
+
+    opcode: Opcode
+    dst: Optional[VReg] = None
+    a: Optional[Value] = None
+    b: Optional[Value] = None
+    label: Optional[str] = None
+    cond: Optional[Cond] = None
+
+    def __str__(self) -> str:
+        if self.opcode is Opcode.LABEL:
+            return f"{self.label}:"
+        if self.opcode is Opcode.JUMP:
+            return f"    jump {self.label}"
+        if self.opcode is Opcode.CBR:
+            return f"    if {self.a} {self.cond.value} {self.b} goto {self.label}"
+        if self.opcode is Opcode.STORE:
+            return f"    mem[{self.a}] <- {self.b}"
+        if self.opcode is Opcode.LOAD:
+            return f"    {self.dst} <- mem[{self.a}]"
+        if self.opcode is Opcode.HALT:
+            return "    halt"
+        if self.opcode in (Opcode.LI, Opcode.MOV):
+            return f"    {self.dst} <- {self.a}"
+        return f"    {self.dst} <- {self.opcode.value} {self.a}, {self.b}"
+
+    # -- dataflow helpers -------------------------------------------------
+
+    def uses(self) -> List[VReg]:
+        used = []
+        for value in (self.a, self.b):
+            if isinstance(value, VReg):
+                used.append(value)
+        return used
+
+    def defines(self) -> Optional[VReg]:
+        return self.dst
+
+
+@dataclass
+class Kernel:
+    """A straight-line-with-branches IR program."""
+
+    ops: List[IrOp] = field(default_factory=list)
+    name: str = "kernel"
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def labels(self) -> Dict[str, int]:
+        return {
+            op.label: i
+            for i, op in enumerate(self.ops)
+            if op.opcode is Opcode.LABEL
+        }
+
+    def validate(self) -> None:
+        """Check label references and operand shapes."""
+        labels = self.labels()
+        defined: set = set()
+        for op in self.ops:
+            if op.opcode in (Opcode.JUMP, Opcode.CBR):
+                if op.label not in labels:
+                    raise CodegenError(f"undefined label {op.label!r}")
+            if op.opcode is Opcode.CBR and op.cond is None:
+                raise CodegenError("cbr without a condition")
+            for use in op.uses():
+                if use not in defined:
+                    raise CodegenError(
+                        f"virtual register {use} used before definition"
+                        f" in {op}"
+                    )
+            if op.dst is not None:
+                defined.add(op.dst)
+
+    def __str__(self) -> str:
+        return "\n".join(str(op) for op in self.ops)
+
+
+class KernelBuilder:
+    """Fluent construction of IR kernels."""
+
+    def __init__(self, name: str = "kernel"):
+        self.kernel = Kernel(name=name)
+        self._next_vreg = 0
+        self._next_label = 0
+
+    # -- values -----------------------------------------------------------
+
+    def vreg(self) -> VReg:
+        reg = VReg(self._next_vreg)
+        self._next_vreg += 1
+        return reg
+
+    def new_label(self, stem: str = "L") -> str:
+        label = f"{stem}{self._next_label}"
+        self._next_label += 1
+        return label
+
+    def _emit(self, op: IrOp):
+        self.kernel.ops.append(op)
+
+    @staticmethod
+    def _value(value) -> Value:
+        if isinstance(value, (VReg, Imm)):
+            return value
+        if isinstance(value, int):
+            return Imm(value)
+        raise CodegenError(f"not an IR value: {value!r}")
+
+    # -- instructions -------------------------------------------------------
+
+    def li(self, value: int) -> VReg:
+        dst = self.vreg()
+        self._emit(IrOp(Opcode.LI, dst, Imm(value)))
+        return dst
+
+    # -- explicit-destination forms (loop-carried variables) ---------------
+
+    def li_into(self, dst: VReg, value: int) -> VReg:
+        self._emit(IrOp(Opcode.LI, dst, Imm(value)))
+        return dst
+
+    def mov_into(self, dst: VReg, src) -> VReg:
+        self._emit(IrOp(Opcode.MOV, dst, self._value(src)))
+        return dst
+
+    def binary_into(self, dst: VReg, opcode: Opcode, a, b) -> VReg:
+        if opcode not in BINARY_OPS:
+            raise CodegenError(f"{opcode} is not a binary operation")
+        self._emit(IrOp(opcode, dst, self._value(a), self._value(b)))
+        return dst
+
+    def load_into(self, dst: VReg, addr) -> VReg:
+        self._emit(IrOp(Opcode.LOAD, dst, self._value(addr)))
+        return dst
+
+    def mov(self, src) -> VReg:
+        dst = self.vreg()
+        self._emit(IrOp(Opcode.MOV, dst, self._value(src)))
+        return dst
+
+    def binary(self, opcode: Opcode, a, b) -> VReg:
+        if opcode not in BINARY_OPS:
+            raise CodegenError(f"{opcode} is not a binary operation")
+        dst = self.vreg()
+        self._emit(IrOp(opcode, dst, self._value(a), self._value(b)))
+        return dst
+
+    def add(self, a, b) -> VReg:
+        return self.binary(Opcode.ADD, a, b)
+
+    def sub(self, a, b) -> VReg:
+        return self.binary(Opcode.SUB, a, b)
+
+    def and_(self, a, b) -> VReg:
+        return self.binary(Opcode.AND, a, b)
+
+    def shl(self, a, b) -> VReg:
+        return self.binary(Opcode.SHL, a, b)
+
+    def shr(self, a, b) -> VReg:
+        return self.binary(Opcode.SHR, a, b)
+
+    def mul(self, a, b) -> VReg:
+        return self.binary(Opcode.MUL, a, b)
+
+    def fadd(self, a, b) -> VReg:
+        return self.binary(Opcode.FADD, a, b)
+
+    def fmul(self, a, b) -> VReg:
+        return self.binary(Opcode.FMUL, a, b)
+
+    def load(self, addr) -> VReg:
+        dst = self.vreg()
+        self._emit(IrOp(Opcode.LOAD, dst, self._value(addr)))
+        return dst
+
+    def store(self, addr, value) -> None:
+        self._emit(
+            IrOp(Opcode.STORE, None, self._value(addr), self._value(value))
+        )
+
+    def label(self, name: str) -> None:
+        self._emit(IrOp(Opcode.LABEL, label=name))
+
+    def jump(self, name: str) -> None:
+        self._emit(IrOp(Opcode.JUMP, label=name))
+
+    def cbr(self, cond: Cond, a, b, label: str) -> None:
+        self._emit(
+            IrOp(
+                Opcode.CBR,
+                a=self._value(a),
+                b=self._value(b),
+                label=label,
+                cond=cond,
+            )
+        )
+
+    def halt(self) -> None:
+        self._emit(IrOp(Opcode.HALT))
+
+    def build(self) -> Kernel:
+        self.kernel.validate()
+        return self.kernel

@@ -1,0 +1,114 @@
+"""Linear-scan register allocation for the retargetable code generator.
+
+Virtual registers get live intervals from the linear IR; intervals crossing
+a loop back-edge are extended to the branch (loop-carried values stay live
+around the whole loop body).  Allocation failure is reported as a
+:class:`~repro.errors.CodegenError` — in the exploration methodology that
+means the candidate architecture's register file is too small for the
+workload, a legitimate evaluation result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CodegenError
+from .ir import IrOp, Kernel, Opcode, VReg
+
+
+@dataclass
+class Interval:
+    """Live interval of one virtual register (positions in the op list)."""
+
+    vreg: VReg
+    start: int
+    end: int
+
+
+def live_intervals(kernel: Kernel) -> List[Interval]:
+    """Compute loop-aware live intervals for every virtual register."""
+    first_def: Dict[VReg, int] = {}
+    last_use: Dict[VReg, int] = {}
+    for pos, op in enumerate(kernel.ops):
+        if op.dst is not None and op.dst not in first_def:
+            first_def[op.dst] = pos
+        for use in op.uses():
+            last_use[use] = pos
+        if op.dst is not None:
+            last_use.setdefault(op.dst, pos)
+    intervals = {
+        vreg: Interval(vreg, start, last_use[vreg])
+        for vreg, start in first_def.items()
+    }
+    # Back-edges: a value live anywhere inside a loop stays live through
+    # the whole loop (it may be read again on the next iteration).
+    labels = kernel.labels()
+    back_edges: List[Tuple[int, int]] = []
+    for pos, op in enumerate(kernel.ops):
+        if op.opcode in (Opcode.JUMP, Opcode.CBR):
+            target = labels[op.label]
+            if target <= pos:
+                back_edges.append((target, pos))
+    changed = True
+    while changed:
+        changed = False
+        for target, branch in back_edges:
+            for interval in intervals.values():
+                overlaps = interval.start < branch and interval.end > target
+                if overlaps and interval.end < branch:
+                    interval.end = branch
+                    changed = True
+    return sorted(intervals.values(), key=lambda iv: (iv.start, iv.end))
+
+
+def allocate(kernel: Kernel, register_count: int,
+             first_register: int = 0,
+             reserved: Tuple[int, ...] = ()) -> Dict[VReg, int]:
+    """Map virtual registers to physical register numbers (linear scan)."""
+    available = [
+        first_register + i
+        for i in range(register_count)
+        if first_register + i not in reserved
+    ]
+    intervals = live_intervals(kernel)
+    mapping: Dict[VReg, int] = {}
+    active: List[Interval] = []
+    free = list(reversed(available))  # pop() takes the lowest number
+    free.sort(reverse=True)
+    for interval in intervals:
+        # Expire intervals ending at or before this start: reads happen
+        # before writes within a cycle, so a destination may reuse the
+        # register of a value whose last use is the defining instruction.
+        still_active = []
+        for old in active:
+            if old.end <= interval.start:
+                free.append(mapping[old.vreg])
+                free.sort(reverse=True)
+            else:
+                still_active.append(old)
+        active = still_active
+        if not free:
+            raise CodegenError(
+                f"register allocation failed: {len(active) + 1} values live"
+                f" at position {interval.start} but only"
+                f" {len(available)} registers available"
+            )
+        mapping[interval.vreg] = free.pop()
+        active.append(interval)
+    return mapping
+
+
+def max_pressure(kernel: Kernel) -> int:
+    """Maximum number of simultaneously live values (for diagnostics)."""
+    intervals = live_intervals(kernel)
+    events = []
+    for interval in intervals:
+        events.append((interval.start, 1))
+        events.append((interval.end, -1))
+    pressure = best = 0
+    # At equal positions the release sorts first (read-before-write).
+    for _, delta in sorted(events):
+        pressure += delta
+        best = max(best, pressure)
+    return best

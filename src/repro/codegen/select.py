@@ -1,0 +1,495 @@
+"""Instruction selection: matching target operations to IR semantics.
+
+The code generator is retargetable the same way the paper's tools are: it
+reads the *machine description*, not a hand-written back-end.  The
+classifier inspects every operation's RTL action/side-effect and recognizes
+the semantic shapes the IR needs (ALU with register/immediate source, move,
+load immediate, load/store, compare, conditional branch, jump, halt).
+Operations whose RTL matches no shape are simply unavailable to the
+compiler — exactly what happens when an exploration transform produces an
+exotic candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CodegenError
+from ..isdl import ast, rtl
+from .ir import Opcode
+
+#: RTL binary operators implementing each IR opcode
+_IR_BINOP = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.AND: "&",
+    Opcode.OR: "|",
+    Opcode.XOR: "^",
+    Opcode.SHL: "<<",
+    Opcode.SHR: ">>",
+    Opcode.MUL: "*",
+}
+
+_IR_FP = {
+    Opcode.FADD: "fadd",
+    Opcode.FSUB: "fsub",
+    Opcode.FMUL: "fmul",
+    Opcode.FDIV: "fdiv",
+}
+
+
+@dataclass(frozen=True)
+class NtOperand:
+    """How to drive a source non-terminal (register and immediate modes)."""
+
+    nt_name: str
+    reg_label: Optional[str] = None  # option taking one REG token
+    reg_param: Optional[str] = None
+    imm_label: Optional[str] = None  # option taking one immediate token
+    imm_param: Optional[str] = None
+    imm_token: Optional[ast.TokenDef] = None
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One usable target operation with its operand roles."""
+
+    field: str
+    op_name: str
+    kind: str
+    binop: Optional[str] = None  # RTL operator or FP intrinsic
+    dst: Optional[str] = None  # destination REG param
+    lhs: Optional[str] = None  # left-hand REG param
+    src: Optional[str] = None  # source param (REG, imm token, or NT)
+    src_nt: Optional[NtOperand] = None
+    src_token: Optional[ast.TokenDef] = None
+    addr: Optional[str] = None  # address REG param (load/store)
+    data: Optional[str] = None  # data REG param (store)
+    target: Optional[str] = None  # branch-target param
+    target_token: Optional[ast.TokenDef] = None
+    relative: bool = True  # PC-relative branch?
+    flag: Optional[str] = None  # flag storage read by a branch
+    flag_taken: Optional[int] = None  # flag value meaning "taken"
+    reg_cond: Optional[str] = None  # 'eq0' / 'ne0' for register branches
+    zero_flag: Optional[str] = None  # flag a cmp sets on equality
+    neg_flag: Optional[str] = None  # flag a cmp sets on signed less-than
+    latency: int = 1
+
+
+@dataclass
+class TargetIsa:
+    """Everything selection learned about one description."""
+
+    desc: ast.Description
+    reg_token: ast.TokenDef
+    reg_file: str
+    patterns: List[Pattern] = field(default_factory=list)
+
+    def find(self, kind: str, binop: Optional[str] = None) -> List[Pattern]:
+        return [
+            p
+            for p in self.patterns
+            if p.kind == kind and (binop is None or p.binop == binop)
+        ]
+
+    def first(self, kind: str, binop: Optional[str] = None) -> Pattern:
+        matches = self.find(kind, binop)
+        if not matches:
+            what = f"{kind}({binop})" if binop else kind
+            raise CodegenError(
+                f"target {self.desc.name!r} has no operation for {what}"
+            )
+        return matches[0]
+
+    @property
+    def register_count(self) -> int:
+        return self.reg_token.hi - self.reg_token.lo + 1
+
+
+def analyze(desc: ast.Description) -> TargetIsa:
+    """Classify every operation of *desc* into selection patterns."""
+    reg_file, reg_token = _find_register_file(desc)
+    isa = TargetIsa(desc, reg_token, reg_file)
+    classifier = _Classifier(desc, reg_file, reg_token)
+    for fld, op in desc.operations():
+        pattern = classifier.classify(fld, op)
+        if pattern is not None:
+            isa.patterns.append(pattern)
+    return isa
+
+
+def _find_register_file(desc) -> Tuple[str, ast.TokenDef]:
+    reg_files = [
+        s for s in desc.storages.values()
+        if s.kind is ast.StorageKind.REGISTER_FILE
+    ]
+    if not reg_files:
+        raise CodegenError(
+            f"description {desc.name!r} has no register file"
+        )
+    reg_file = max(reg_files, key=lambda s: s.depth or 0)
+    for token in desc.tokens.values():
+        if token.kind is ast.TokenKind.PREFIXED and (
+            token.hi - token.lo + 1 <= (reg_file.depth or 0)
+        ):
+            return reg_file.name, token
+    raise CodegenError(
+        f"no register-name token for register file {reg_file.name!r}"
+    )
+
+
+class _Classifier:
+    def __init__(self, desc, reg_file, reg_token):
+        self.desc = desc
+        self.reg_file = reg_file
+        self.reg_token = reg_token
+        self.halt_flag = desc.attributes.get("halt_flag")
+        self.pc = desc.program_counter().name
+
+    # ------------------------------------------------------------------
+
+    def classify(self, fld: ast.Field, op: ast.Operation) -> Optional[Pattern]:
+        base = dict(field=fld.name, op_name=op.name,
+                    latency=op.timing.latency)
+        action = op.action
+        if not action and not op.side_effect:
+            return Pattern(kind="nop", **base)
+        if not action and op.side_effect:
+            return self._classify_cmp(op, base)
+        if len(action) == 1 and isinstance(action[0], rtl.If):
+            return self._classify_branch(op, action[0], base)
+        if len(action) != 1 or not isinstance(action[0], rtl.Assign):
+            return None
+        stmt = action[0]
+        dest, expr = stmt.dest, stmt.expr
+        if isinstance(dest, rtl.StorageLV):
+            if self.halt_flag and dest.storage == self.halt_flag:
+                if expr == rtl.IntLit(1):
+                    return Pattern(kind="halt", **base)
+            if dest.storage == self.pc:
+                return self._classify_jump(op, expr, base)
+            if dest.storage == self.reg_file:
+                return self._classify_reg_write(op, dest, expr, base)
+            if self._is_memory(dest.storage):
+                return self._classify_store(op, dest, expr, base)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _is_memory(self, name: str) -> bool:
+        storage = self.desc.storages.get(name)
+        return (
+            storage is not None
+            and storage.kind is ast.StorageKind.DATA_MEMORY
+        )
+
+    def _reg_param(self, op, expr) -> Optional[str]:
+        """Name of the REG param p when expr is RF[p] (else None)."""
+        if not isinstance(expr, rtl.StorageRead):
+            return None
+        if expr.storage != self.reg_file or expr.hi is not None:
+            return None
+        if not isinstance(expr.index, rtl.ParamRef):
+            return None
+        if self._param_type(op, expr.index.name) is not self.reg_token:
+            return None
+        return expr.index.name
+
+    def _param_type(self, op, name):
+        for param in op.params:
+            if param.name == name:
+                return self.desc.param_type(param)
+        return None
+
+    def _source_operand(self, op, expr):
+        """Classify an expression as a source operand.
+
+        Returns (param_name, nt_operand, token) or None.  Masking wrappers
+        like ``b & 0xF`` are unwrapped.
+        """
+        while (
+            isinstance(expr, rtl.BinOp)
+            and expr.op == "&"
+            and isinstance(expr.right, rtl.IntLit)
+        ):
+            expr = expr.left
+        reg = self._reg_param(op, expr)
+        if reg is not None:
+            return reg, None, self.reg_token
+        if not isinstance(expr, rtl.ParamRef):
+            return None
+        ptype = self._param_type(op, expr.name)
+        if isinstance(ptype, ast.TokenDef):
+            return expr.name, None, ptype
+        if isinstance(ptype, ast.NonTerminal):
+            nt_operand = self._analyze_nt(ptype)
+            if nt_operand is not None:
+                return expr.name, nt_operand, None
+        return None
+
+    def _analyze_nt(self, nt: ast.NonTerminal) -> Optional[NtOperand]:
+        reg_label = reg_param = None
+        imm_label = imm_param = imm_token = None
+        for option in nt.options:
+            if len(option.params) != 1 or len(option.action) != 1:
+                continue
+            stmt = option.action[0]
+            if not (
+                isinstance(stmt, rtl.Assign)
+                and isinstance(stmt.dest, rtl.NtLV)
+            ):
+                continue
+            param = option.params[0]
+            ptype = self.desc.param_type(param)
+            if (
+                isinstance(ptype, ast.TokenDef)
+                and ptype.kind is ast.TokenKind.PREFIXED
+                and isinstance(stmt.expr, rtl.StorageRead)
+                and stmt.expr.storage == self.reg_file
+            ):
+                reg_label, reg_param = option.label, param.name
+            elif (
+                isinstance(ptype, ast.TokenDef)
+                and ptype.kind is ast.TokenKind.IMMEDIATE
+                and stmt.expr == rtl.ParamRef(param.name)
+            ):
+                imm_label, imm_param, imm_token = (
+                    option.label, param.name, ptype,
+                )
+        if reg_label is None and imm_label is None:
+            return None
+        return NtOperand(
+            nt.name, reg_label, reg_param, imm_label, imm_param, imm_token
+        )
+
+    # ------------------------------------------------------------------
+
+    def _classify_reg_write(self, op, dest, expr, base):
+        dst = None
+        if isinstance(dest.index, rtl.ParamRef):
+            if self._param_type(op, dest.index.name) is self.reg_token:
+                dst = dest.index.name
+        if dst is None:
+            return None
+        # load immediate
+        if isinstance(expr, rtl.ParamRef):
+            ptype = self._param_type(op, expr.name)
+            if isinstance(ptype, ast.TokenDef):
+                if ptype.kind is ast.TokenKind.IMMEDIATE:
+                    return Pattern(
+                        kind="li", dst=dst, src=expr.name, src_token=ptype,
+                        **base,
+                    )
+                return None
+            nt_operand = self._analyze_nt(ptype) if ptype else None
+            if nt_operand is not None:
+                return Pattern(
+                    kind="mov", dst=dst, src=expr.name, src_nt=nt_operand,
+                    **base,
+                )
+            return None
+        # register move
+        reg = self._reg_param(op, expr)
+        if reg is not None:
+            return Pattern(kind="mov", dst=dst, src=reg,
+                           src_token=self.reg_token, **base)
+        # memory load
+        if isinstance(expr, rtl.StorageRead) and self._is_memory(expr.storage):
+            addr = self._addr_reg(op, expr.index)
+            if addr is not None:
+                return Pattern(kind="load", dst=dst, addr=addr, **base)
+            return None
+        # FP unit
+        if isinstance(expr, rtl.Call) and expr.func in _IR_FP.values():
+            regs = [self._reg_param(op, arg) for arg in expr.args]
+            if len(regs) == 2 and all(regs):
+                return Pattern(
+                    kind="falu", binop=expr.func, dst=dst,
+                    lhs=regs[0], src=regs[1], src_token=self.reg_token,
+                    **base,
+                )
+            return None
+        # integer ALU (also note any compare-style flags it sets as a
+        # side effect — targets without a dedicated cmp branch off these).
+        if isinstance(expr, rtl.BinOp):
+            lhs = self._reg_param(op, expr.left)
+            if lhs is None:
+                return None
+            source = self._source_operand(op, expr.right)
+            if source is None:
+                return None
+            src, src_nt, src_token = source
+            zero_flag = neg_flag = None
+            for stmt in op.side_effect:
+                if not (
+                    isinstance(stmt, rtl.Assign)
+                    and isinstance(stmt.dest, rtl.StorageLV)
+                ):
+                    continue
+                match = self._flag_source(op, stmt.expr)
+                if match is None:
+                    continue
+                if match[0] == "zero":
+                    zero_flag = stmt.dest.storage
+                else:
+                    neg_flag = stmt.dest.storage
+            return Pattern(
+                kind="alu", binop=expr.op, dst=dst, lhs=lhs, src=src,
+                src_nt=src_nt, src_token=src_token,
+                zero_flag=zero_flag, neg_flag=neg_flag, **base,
+            )
+        return None
+
+    def _addr_reg(self, op, index_expr) -> Optional[str]:
+        expr = index_expr
+        while (
+            isinstance(expr, rtl.BinOp)
+            and expr.op == "&"
+            and isinstance(expr.right, rtl.IntLit)
+        ):
+            expr = expr.left
+        return self._reg_param(op, expr)
+
+    def _classify_store(self, op, dest, expr, base):
+        addr = self._addr_reg(op, dest.index)
+        data = self._reg_param(op, expr)
+        if addr is None or data is None:
+            return None
+        return Pattern(kind="store", addr=addr, data=data, **base)
+
+    def _classify_jump(self, op, expr, base):
+        if isinstance(expr, rtl.ParamRef):
+            ptype = self._param_type(op, expr.name)
+            if isinstance(ptype, ast.TokenDef):
+                return Pattern(
+                    kind="jump", target=expr.name, target_token=ptype,
+                    relative=False, **base,
+                )
+        return None
+
+    def _classify_branch(self, op, stmt: rtl.If, base):
+        if stmt.orelse or len(stmt.then) != 1:
+            return None
+        body = stmt.then[0]
+        if not (
+            isinstance(body, rtl.Assign)
+            and isinstance(body.dest, rtl.StorageLV)
+            and body.dest.storage == self.pc
+        ):
+            return None
+        target = target_token = None
+        relative = True
+        expr = body.expr
+        if (
+            isinstance(expr, rtl.BinOp)
+            and expr.op == "+"
+            and isinstance(expr.left, rtl.StorageRead)
+            and expr.left.storage == self.pc
+            and isinstance(expr.right, rtl.ParamRef)
+        ):
+            target = expr.right.name
+        elif isinstance(expr, rtl.ParamRef):
+            target = expr.name
+            relative = False
+        if target is None:
+            return None
+        ptype = self._param_type(op, target)
+        if not isinstance(ptype, ast.TokenDef):
+            return None
+        target_token = ptype
+        cond = stmt.cond
+        if not isinstance(cond, rtl.BinOp) or cond.op not in ("==", "!="):
+            return None
+        # register-zero branch: RF[a] ==/!= 0
+        reg = self._reg_param(op, cond.left)
+        if reg is not None and cond.right == rtl.IntLit(0):
+            reg_cond = "eq0" if cond.op == "==" else "ne0"
+            return Pattern(
+                kind="branch_reg", lhs=reg, reg_cond=reg_cond,
+                target=target, target_token=target_token, relative=relative,
+                **base,
+            )
+        # flag branch: FLAG ==/!= k
+        if (
+            isinstance(cond.left, rtl.StorageRead)
+            and cond.left.index is None
+            and isinstance(cond.right, rtl.IntLit)
+        ):
+            flag = cond.left.storage
+            value = cond.right.value
+            taken = value if cond.op == "==" else 1 - value
+            return Pattern(
+                kind="branch_flag", flag=flag, flag_taken=taken,
+                target=target, target_token=target_token, relative=relative,
+                **base,
+            )
+        return None
+
+    def _classify_cmp(self, op, base):
+        """Recognize compare ops from their flag-setting side effects.
+
+        A zero flag comes from ``((RF[a] - src) & mask) == 0``; a negative
+        flag from ``bit(RF[a] - src, msb)``.
+        """
+        zero_flag = neg_flag = lhs = src = None
+        src_nt = src_token = None
+        for stmt in op.side_effect:
+            if not (
+                isinstance(stmt, rtl.Assign)
+                and isinstance(stmt.dest, rtl.StorageLV)
+            ):
+                continue
+            match = self._flag_source(op, stmt.expr)
+            if match is None:
+                continue
+            flag_kind, left_reg, source = match
+            if flag_kind == "zero":
+                zero_flag = stmt.dest.storage
+            else:
+                neg_flag = stmt.dest.storage
+            lhs = left_reg
+            src, src_nt, src_token = source
+        if zero_flag is None and neg_flag is None:
+            return None
+        return Pattern(
+            kind="cmp", zero_flag=zero_flag, neg_flag=neg_flag,
+            lhs=lhs, src=src, src_nt=src_nt, src_token=src_token, **base,
+        )
+
+    def _flag_source(self, op, expr):
+        """Match one flag assignment; returns (kind, lhs_reg, source)."""
+        if (
+            isinstance(expr, rtl.BinOp)
+            and expr.op == "=="
+            and expr.right == rtl.IntLit(0)
+        ):
+            diff = self._difference(op, expr.left)
+            if diff is not None:
+                return ("zero",) + diff
+            return None
+        if (
+            isinstance(expr, rtl.Call)
+            and expr.func == "bit"
+            and isinstance(expr.args[1], rtl.IntLit)
+        ):
+            diff = self._difference(op, expr.args[0])
+            if diff is not None:
+                return ("neg",) + diff
+        return None
+
+    def _difference(self, op, expr):
+        """Match ``(RF[a] - src) [& mask]``; returns (lhs_reg, source)."""
+        if (
+            isinstance(expr, rtl.BinOp)
+            and expr.op == "&"
+            and isinstance(expr.right, rtl.IntLit)
+        ):
+            expr = expr.left
+        if not (isinstance(expr, rtl.BinOp) and expr.op == "-"):
+            return None
+        left_reg = self._reg_param(op, expr.left)
+        source = self._source_operand(op, expr.right)
+        if left_reg is None or source is None:
+            return None
+        return left_reg, source

@@ -1,0 +1,25 @@
+"""Assembly-function encodings and operation signatures (paper Fig. 3)."""
+
+from .bits import (
+    fits_signed,
+    fits_unsigned,
+    get_bits,
+    mask,
+    set_bits,
+    sign_extend,
+    to_unsigned,
+)
+from .signature import Operand, Signature, SignatureTable
+
+__all__ = [
+    "fits_signed",
+    "fits_unsigned",
+    "get_bits",
+    "mask",
+    "set_bits",
+    "sign_extend",
+    "to_unsigned",
+    "Operand",
+    "Signature",
+    "SignatureTable",
+]

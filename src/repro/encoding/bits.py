@@ -1,0 +1,43 @@
+"""Low-level bit-manipulation helpers shared by the encoding layer."""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """An all-ones mask of *width* bits."""
+    return (1 << width) - 1
+
+
+def get_bits(value: int, hi: int, lo: int) -> int:
+    """Extract bits ``[hi:lo]`` (inclusive) from *value*."""
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def set_bits(value: int, hi: int, lo: int, bits: int) -> int:
+    """Return *value* with bits ``[hi:lo]`` replaced by *bits*."""
+    field_mask = mask(hi - lo + 1) << lo
+    return (value & ~field_mask) | ((bits << lo) & field_mask)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low *width* bits of *value* as two's complement."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Truncate a (possibly negative) value to *width* unsigned bits."""
+    return value & mask(width)
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """True if *value* is representable as an unsigned *width*-bit number."""
+    return 0 <= value < (1 << width)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """True if *value* is representable as a signed *width*-bit number."""
+    half = 1 << (width - 1)
+    return -half <= value < half

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the repro toolkit.
+
+Every error raised by the toolkit derives from :class:`ReproError` so that
+callers embedding the tools (e.g. the exploration loop) can catch one type.
+Errors that originate in user-supplied text (ISDL descriptions, assembly
+source, batch scripts) carry a source location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a source file (1-based line and column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class LocatedError(ReproError):
+    """An error with an optional source location attached."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.location is not None:
+            return f"{self.location}: {self.message}"
+        return self.message
+
+
+class IsdlSyntaxError(LocatedError):
+    """Raised by the ISDL lexer/parser on malformed description text."""
+
+
+class IsdlSemanticError(LocatedError):
+    """Raised by semantic analysis on an inconsistent ISDL description.
+
+    Examples: undefined storage referenced in RTL, encoding bits assigned
+    twice, a signature bit depending on two parameters (violating Axiom 1 of
+    the paper), a constraint naming an unknown operation.
+    """
+
+
+class EncodingError(ReproError):
+    """Raised when an assembly function cannot encode the given operands."""
+
+
+class DisassemblyError(ReproError):
+    """Raised when an instruction word matches no operation signature.
+
+    The paper allows undefined behaviour here; we raise a diagnostic instead
+    because an exploration loop wants to know its binary was inconsistent.
+    """
+
+
+class AssemblerError(LocatedError):
+    """Raised on malformed assembly source or constraint violations."""
+
+
+class ConstraintViolation(AssemblerError):
+    """An instruction combines operations forbidden by the constraints."""
+
+
+class SimulationError(ReproError):
+    """Raised by the XSIM simulator on an unrecoverable runtime condition."""
+
+
+class StateError(SimulationError):
+    """Raised on invalid accesses to processor state (bad index, width)."""
+
+
+class SynthesisError(ReproError):
+    """Raised by HGEN when a description cannot be mapped to hardware."""
+
+
+class CodegenError(ReproError):
+    """Raised by the retargetable code generator."""
+
+
+class ExplorationError(ReproError):
+    """Raised by the architecture-exploration driver."""

@@ -1,0 +1,18 @@
+"""Architecture exploration by iterative improvement (paper Fig. 1)."""
+
+from .explorer import Candidate, ExplorationLog, Explorer
+from .metrics import CostWeights, Evaluation, evaluate
+from .report import evaluation_table, exploration_report
+from . import transforms
+
+__all__ = [
+    "Candidate",
+    "ExplorationLog",
+    "Explorer",
+    "CostWeights",
+    "Evaluation",
+    "evaluate",
+    "evaluation_table",
+    "exploration_report",
+    "transforms",
+]

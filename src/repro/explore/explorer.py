@@ -1,0 +1,271 @@
+"""Architecture exploration by iterative improvement (paper Fig. 1).
+
+Starting from an initial description, each iteration:
+
+1. evaluates the current architecture (compile → simulate → synthesize →
+   cost, see :mod:`repro.explore.metrics`);
+2. proposes candidate improvements *guided by the measurements* — drop
+   operations the workloads never execute, drop functional units with low
+   utilization, add bypass timing to operations that cause stalls, and
+   serialize field pairs so HGEN can share their hardware;
+3. adopts the cheapest feasible candidate, and stops when no candidate
+   improves on the incumbent.
+
+Every candidate is a complete ISDL description, so the whole tool chain
+(compiler, assembler, ILS, HGEN) regenerates automatically each iteration —
+the property the paper argues makes exploration practical at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..codegen.ir import Kernel
+from ..errors import ExplorationError, ReproError
+from ..isdl import ast
+from . import transforms
+from .metrics import CostWeights, Evaluation, evaluate
+
+
+@dataclass
+class Candidate:
+    """One evaluated point in the design space."""
+
+    desc: ast.Description
+    evaluation: Evaluation
+    derived_by: str = "initial"
+
+    def cost(self, weights: CostWeights) -> float:
+        return self.evaluation.cost(weights)
+
+
+@dataclass
+class ExplorationLog:
+    """The trajectory of one exploration run."""
+
+    weights: CostWeights
+    accepted: List[Candidate] = field(default_factory=list)
+    rejected: List[Candidate] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def best(self) -> Candidate:
+        return self.accepted[-1]
+
+    @property
+    def initial(self) -> Candidate:
+        return self.accepted[0]
+
+    @property
+    def improvement(self) -> float:
+        """Cost ratio initial/best (>1 means the search improved)."""
+        initial = self.initial.cost(self.weights)
+        best = self.best.cost(self.weights)
+        if best == 0:
+            return float("inf")
+        return initial / best
+
+
+class Explorer:
+    """Iterative-improvement search over ISDL descriptions."""
+
+    def __init__(
+        self,
+        kernels: Sequence[Kernel],
+        weights: Optional[CostWeights] = None,
+        max_candidates_per_round: int = 12,
+        utilization_threshold: float = 0.05,
+    ):
+        self.kernels = list(kernels)
+        self.weights = weights or CostWeights()
+        self.max_candidates_per_round = max_candidates_per_round
+        self.utilization_threshold = utilization_threshold
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, desc: ast.Description,
+                 derived_by: str = "initial") -> Candidate:
+        evaluation = evaluate(desc, self.kernels)
+        return Candidate(desc, evaluation, derived_by)
+
+    def explore(self, initial: ast.Description,
+                max_iterations: int = 8) -> ExplorationLog:
+        """Run the Figure-1 loop until convergence."""
+        log = ExplorationLog(self.weights)
+        incumbent = self.evaluate(initial)
+        if not incumbent.evaluation.feasible:
+            raise ExplorationError(
+                f"initial architecture infeasible:"
+                f" {incumbent.evaluation.reason}"
+            )
+        log.accepted.append(incumbent)
+        for _ in range(max_iterations):
+            log.iterations += 1
+            best_next: Optional[Candidate] = None
+            for desc, how in self._proposals(incumbent):
+                try:
+                    candidate = self.evaluate(desc, derived_by=how)
+                except ReproError:
+                    continue
+                if not candidate.evaluation.feasible:
+                    log.rejected.append(candidate)
+                    continue
+                if best_next is None or candidate.cost(
+                    self.weights
+                ) < best_next.cost(self.weights):
+                    best_next = candidate
+            if best_next is None or best_next.cost(
+                self.weights
+            ) >= incumbent.cost(self.weights):
+                break
+            incumbent = best_next
+            log.accepted.append(incumbent)
+        return log
+
+    # ------------------------------------------------------------------
+    # Measurement-guided candidate generation
+    # ------------------------------------------------------------------
+
+    def _proposals(
+        self, incumbent: Candidate
+    ) -> Iterable[Tuple[ast.Description, str]]:
+        desc = incumbent.desc
+        stats = incumbent.evaluation.stats
+        produced = 0
+
+        def cap() -> bool:
+            return produced >= self.max_candidates_per_round
+
+        # 1. Drop operations the workloads never execute.
+        if stats is not None:
+            unused = stats.unused_operations(desc)
+            droppable = [
+                (f, o) for f, o in unused
+                if len(desc.field_named(f).operations) > 1
+            ]
+            if droppable:
+                try:
+                    yield (
+                        transforms.drop_operations(
+                            desc, droppable, rename=f"{desc.name}~lean"
+                        ),
+                        f"drop {len(droppable)} unused operations",
+                    )
+                    produced += 1
+                except ReproError:
+                    pass
+        # 2. Drop fields with utilization below the threshold.
+        if stats is not None and len(desc.fields) > 1 and not cap():
+            for name, util in stats.field_utilization(desc).items():
+                if util <= self.utilization_threshold:
+                    try:
+                        yield (
+                            transforms.drop_field(desc, name),
+                            f"drop idle field {name}"
+                            f" ({util * 100:.1f}% used)",
+                        )
+                        produced += 1
+                    except ReproError:
+                        continue
+                    if cap():
+                        break
+        # 3. Stalls observed: add bypass timing to high-latency operations.
+        if (
+            incumbent.evaluation.stall_cycles > 0
+            and stats is not None
+            and not cap()
+        ):
+            for fld, op in desc.operations():
+                if op.costs.stall > 0 and stats.op_counts[
+                    (fld.name, op.name)
+                ]:
+                    yield (
+                        transforms.set_operation_timing(
+                            desc, fld.name, op.name,
+                            costs=ast.Costs(op.costs.cycle, 0,
+                                            op.costs.size),
+                            timing=ast.Timing(1, op.timing.usage),
+                            rename=f"{desc.name}+byp-{op.name}",
+                        ),
+                        f"bypass {fld.name}.{op.name}",
+                    )
+                    produced += 1
+                    if cap():
+                        break
+        # 4. Serialize rarely co-used field pairs so hardware can share.
+        if stats is not None and len(desc.fields) > 1 and not cap():
+            utils = stats.field_utilization(desc)
+            ranked = sorted(utils, key=utils.get)
+            for i, field_a in enumerate(ranked[:3]):
+                for field_b in ranked[i + 1 : 4]:
+                    ops_a = self._busiest_op(desc, stats, field_a)
+                    ops_b = self._busiest_op(desc, stats, field_b)
+                    if ops_a is None or ops_b is None:
+                        continue
+                    yield (
+                        transforms.add_constraint(
+                            desc, field_a, ops_a, field_b, ops_b,
+                            rename=f"{desc.name}+ser",
+                        ),
+                        f"serialize {field_a}.{ops_a} / {field_b}.{ops_b}",
+                    )
+                    produced += 1
+                    if cap():
+                        break
+                if cap():
+                    break
+        # 5. Halve over-provisioned memories (an infeasible shrink is
+        #    detected at load time during evaluation).
+        if not cap():
+            memories = [
+                s for s in desc.storages.values()
+                if s.kind in (
+                    ast.StorageKind.INSTRUCTION_MEMORY,
+                    ast.StorageKind.DATA_MEMORY,
+                )
+            ]
+            for storage in sorted(
+                memories, key=lambda m: -(m.width * (m.depth or 0))
+            )[:2]:
+                if (storage.depth or 0) >= 32:
+                    yield (
+                        transforms.resize_memory(
+                            desc, storage.name, storage.depth // 2
+                        ),
+                        f"halve {storage.name} to {storage.depth // 2}",
+                    )
+                    produced += 1
+                    if cap():
+                        break
+        # 6. Try halving the register file.
+        if not cap():
+            reg_files = [
+                s for s in desc.storages.values()
+                if s.kind is ast.StorageKind.REGISTER_FILE
+            ]
+            if reg_files:
+                depth = max(s.depth or 0 for s in reg_files)
+                if depth >= 4:
+                    try:
+                        yield (
+                            transforms.narrow_register_file(
+                                desc, depth // 2
+                            ),
+                            f"narrow register file to {depth // 2}",
+                        )
+                        produced += 1
+                    except ReproError:
+                        pass
+
+    @staticmethod
+    def _busiest_op(desc, stats, field_name) -> Optional[str]:
+        ops = [
+            (stats.op_counts[(field_name, op.name)], op.name)
+            for op in desc.field_named(field_name).operations
+            if op.action
+        ]
+        ops.sort(reverse=True)
+        if not ops or ops[0][0] == 0:
+            return None
+        return ops[0][1]

@@ -1,0 +1,147 @@
+"""Candidate-architecture evaluation (the measurement box of Figure 1).
+
+One evaluation runs the whole methodology for a candidate description:
+compile the application kernels with the retargetable compiler, execute them
+on the generated ILS (cycle counts + utilization statistics), synthesize the
+hardware model with HGEN (cycle length, die size), estimate power from the
+observed activity, and fold everything into a scalar cost for the
+iterative-improvement search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..codegen import Compiler
+from ..codegen.ir import Kernel
+from ..errors import CodegenError, ReproError
+from ..gensim.stats import SimulationStats
+from ..gensim.xsim import XSim
+from ..hgen import estimate_power, synthesize
+from ..isdl import ast
+
+
+@dataclass
+class CostWeights:
+    """Exponents of the weighted-geometric cost function.
+
+    ``cost = runtime^wt · area^wa · power^wp`` — runtime in µs, area in
+    grid cells, power in mW.  Embedded targets (paper §1: "low cost and low
+    power") weight area and power; a performance target sets them to 0.
+    """
+
+    runtime: float = 1.0
+    area: float = 0.35
+    power: float = 0.25
+
+
+@dataclass
+class Evaluation:
+    """Everything measured about one candidate architecture."""
+
+    name: str
+    feasible: bool
+    reason: str = ""
+    cycles: int = 0
+    stall_cycles: int = 0
+    cycle_ns: float = 0.0
+    die_size: float = 0.0
+    core_die_size: float = 0.0
+    power_mw: float = 0.0
+    verilog_lines: int = 0
+    synthesis_seconds: float = 0.0
+    stats: Optional[SimulationStats] = None
+    per_kernel_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def runtime_us(self) -> float:
+        return self.cycles * self.cycle_ns / 1000.0
+
+    @property
+    def clock_mhz(self) -> float:
+        return 1000.0 / self.cycle_ns if self.cycle_ns else 0.0
+
+    def cost(self, weights: CostWeights) -> float:
+        if not self.feasible:
+            return float("inf")
+        return (
+            max(self.runtime_us, 1e-9) ** weights.runtime
+            * max(self.die_size, 1.0) ** weights.area
+            * max(self.power_mw, 1e-6) ** weights.power
+        )
+
+    def summary(self) -> str:
+        if not self.feasible:
+            return f"{self.name}: INFEASIBLE ({self.reason})"
+        return (
+            f"{self.name}: {self.cycles} cycles @ {self.cycle_ns:.1f} ns ="
+            f" {self.runtime_us:.2f} µs, die {self.die_size:,.0f} cells,"
+            f" {self.power_mw:.1f} mW"
+        )
+
+
+def evaluate(
+    desc: ast.Description,
+    kernels: Sequence[Kernel],
+    max_steps: int = 500_000,
+    name: Optional[str] = None,
+) -> Evaluation:
+    """Run the full Figure-1 measurement pipeline on one candidate."""
+    label = name or desc.name
+    # 1. Retarget the compiler; an unfit ISA is a legitimate negative result.
+    try:
+        compiler = Compiler(desc)
+        programs = [
+            (kernel.name, compiler.compile_to_words(kernel))
+            for kernel in kernels
+        ]
+    except (CodegenError, ReproError) as exc:
+        return Evaluation(label, feasible=False, reason=str(exc))
+    # 2. Simulate every kernel on the generated ILS.
+    total_cycles = 0
+    total_stalls = 0
+    merged_stats: Optional[SimulationStats] = None
+    per_kernel: Dict[str, int] = {}
+    for kernel_name, program in programs:
+        sim = XSim(desc)
+        try:
+            sim.load_words(program.words, program.origin)
+            stats = sim.run_to_completion(max_steps)
+        except ReproError as exc:
+            # e.g. the program no longer fits a shrunken instruction
+            # memory, or it fails to halt on this candidate
+            return Evaluation(
+                label, feasible=False,
+                reason=f"kernel {kernel_name!r}: {exc}",
+            )
+        per_kernel[kernel_name] = stats.cycles
+        total_cycles += stats.cycles
+        total_stalls += stats.stall_cycles
+        if merged_stats is None:
+            merged_stats = stats
+        else:
+            merged_stats.cycles += 0  # totals tracked separately
+            merged_stats.op_counts.update(stats.op_counts)
+            merged_stats.field_busy.update(stats.field_busy)
+            merged_stats.instructions += stats.instructions
+    # 3. Synthesize the hardware model.
+    model = synthesize(desc)
+    power = estimate_power(
+        desc, model.netlist, model.clock_mhz, stats=merged_stats,
+        area=model.area,
+    )
+    return Evaluation(
+        name=label,
+        feasible=True,
+        cycles=total_cycles,
+        stall_cycles=total_stalls,
+        cycle_ns=model.cycle_ns,
+        die_size=model.die_size,
+        core_die_size=model.core_die_size,
+        power_mw=power.total_mw,
+        verilog_lines=model.verilog_lines,
+        synthesis_seconds=model.synthesis_seconds,
+        stats=merged_stats,
+        per_kernel_cycles=per_kernel,
+    )

@@ -1,0 +1,52 @@
+"""Human-readable reports for exploration runs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .explorer import ExplorationLog
+from .metrics import CostWeights, Evaluation
+
+
+def evaluation_table(evaluations: List[Evaluation],
+                     weights: CostWeights) -> str:
+    """A fixed-width comparison table of candidate evaluations."""
+    header = (
+        f"{'architecture':<24} {'cycles':>8} {'ns/cyc':>7} {'µs':>9}"
+        f" {'die (cells)':>12} {'mW':>7} {'cost':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for evaluation in evaluations:
+        if not evaluation.feasible:
+            lines.append(
+                f"{evaluation.name:<24} infeasible: {evaluation.reason}"
+            )
+            continue
+        lines.append(
+            f"{evaluation.name:<24} {evaluation.cycles:>8}"
+            f" {evaluation.cycle_ns:>7.1f} {evaluation.runtime_us:>9.2f}"
+            f" {evaluation.die_size:>12,.0f} {evaluation.power_mw:>7.1f}"
+            f" {evaluation.cost(weights):>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def exploration_report(log: ExplorationLog) -> str:
+    """The trajectory of one exploration run."""
+    lines = [
+        f"exploration: {log.iterations} iteration(s),"
+        f" {len(log.accepted) - 1} improvement step(s),"
+        f" {len(log.rejected)} infeasible candidate(s)",
+        "",
+    ]
+    for i, candidate in enumerate(log.accepted):
+        cost = candidate.cost(log.weights)
+        lines.append(
+            f"  step {i}: [{candidate.derived_by}]"
+            f" cost {cost:,.1f} — {candidate.evaluation.summary()}"
+        )
+    lines.append("")
+    lines.append(
+        f"total improvement: {log.improvement:.2f}x cost reduction"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Architecture transforms: the "make improvements" arrow of Figure 1.
+
+Each transform takes a description and returns a *new* description (the AST
+is never mutated — every candidate is an independent, printable ISDL
+document).  Changes are made "at the level of an RTL operation" (paper
+§4.1): drop an operation, drop a whole field (narrower VLIW), adjust an
+operation's timing (add bypass hardware), add a constraint (serialize two
+fields so their hardware can be shared), or narrow the register file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ExplorationError
+from ..isdl import ast, semantics
+
+
+def _clone(desc: ast.Description, **changes) -> ast.Description:
+    new = ast.Description(
+        name=changes.get("name", desc.name),
+        word_width=desc.word_width,
+        tokens=dict(changes.get("tokens", desc.tokens)),
+        nonterminals=dict(changes.get("nonterminals", desc.nonterminals)),
+        storages=dict(changes.get("storages", desc.storages)),
+        aliases=dict(desc.aliases),
+        fields=list(changes.get("fields", desc.fields)),
+        constraints=list(changes.get("constraints", desc.constraints)),
+        attributes=dict(desc.attributes),
+    )
+    return new
+
+
+def _constraint_mentions(constraint: ast.Constraint,
+                         field: str, op: Optional[str] = None) -> bool:
+    for ref in ast.oprefs_in(constraint.expr):
+        if ref.field == field and (op is None or ref.op == op):
+            return True
+    return False
+
+
+def drop_operation(desc: ast.Description, field_name: str,
+                   op_name: str, rename: Optional[str] = None
+                   ) -> ast.Description:
+    """Remove one operation (and constraints that mention it)."""
+    fld = desc.field_named(field_name)
+    remaining = tuple(op for op in fld.operations if op.name != op_name)
+    if len(remaining) == len(fld.operations):
+        raise ExplorationError(f"no operation {field_name}.{op_name}")
+    if not remaining:
+        return drop_field(desc, field_name, rename)
+    fields = [
+        ast.Field(f.name, remaining, f.location) if f.name == field_name
+        else f
+        for f in desc.fields
+    ]
+    constraints = [
+        c for c in desc.constraints
+        if not _constraint_mentions(c, field_name, op_name)
+    ]
+    return _clone(
+        desc,
+        name=rename or f"{desc.name}-{op_name}",
+        fields=fields,
+        constraints=constraints,
+    )
+
+
+def drop_operations(desc: ast.Description,
+                    ops: Iterable[Tuple[str, str]],
+                    rename: Optional[str] = None) -> ast.Description:
+    """Remove several operations at once."""
+    result = desc
+    for field_name, op_name in ops:
+        result = drop_operation(result, field_name, op_name)
+    if rename:
+        result = _clone(result, name=rename)
+    return result
+
+
+def drop_field(desc: ast.Description, field_name: str,
+               rename: Optional[str] = None) -> ast.Description:
+    """Remove a whole VLIW field (a narrower machine)."""
+    fields = [f for f in desc.fields if f.name != field_name]
+    if len(fields) == len(desc.fields):
+        raise ExplorationError(f"no field {field_name!r}")
+    if not fields:
+        raise ExplorationError("cannot drop the last field")
+    constraints = [
+        c for c in desc.constraints
+        if not _constraint_mentions(c, field_name)
+    ]
+    return _clone(
+        desc,
+        name=rename or f"{desc.name}-{field_name}",
+        fields=fields,
+        constraints=constraints,
+    )
+
+
+def set_operation_timing(desc: ast.Description, field_name: str,
+                         op_name: str, costs: Optional[ast.Costs] = None,
+                         timing: Optional[ast.Timing] = None,
+                         rename: Optional[str] = None) -> ast.Description:
+    """Adjust one operation's costs/timing (e.g. add bypass: stall 0)."""
+    fld = desc.field_named(field_name)
+    new_ops = []
+    found = False
+    for op in fld.operations:
+        if op.name == op_name:
+            found = True
+            op = dataclasses.replace(
+                op,
+                costs=costs if costs is not None else op.costs,
+                timing=timing if timing is not None else op.timing,
+            )
+        new_ops.append(op)
+    if not found:
+        raise ExplorationError(f"no operation {field_name}.{op_name}")
+    fields = [
+        ast.Field(f.name, tuple(new_ops), f.location)
+        if f.name == field_name else f
+        for f in desc.fields
+    ]
+    return _clone(
+        desc, name=rename or f"{desc.name}+t", fields=fields
+    )
+
+
+def add_constraint(desc: ast.Description, field_a: str, op_a: str,
+                   field_b: str, op_b: str,
+                   rename: Optional[str] = None) -> ast.Description:
+    """Forbid two operations from issuing together (serialize the fields
+    so HGEN may share their hardware — paper rule 4 refinement)."""
+    expr = ast.CNot(
+        ast.CAnd(ast.COpRef(field_a, op_a), ast.COpRef(field_b, op_b))
+    )
+    constraint = ast.Constraint(
+        expr, text=f"forbid {field_a}.{op_a} & {field_b}.{op_b}"
+    )
+    return _clone(
+        desc,
+        name=rename or f"{desc.name}+c",
+        constraints=list(desc.constraints) + [constraint],
+    )
+
+
+def resize_memory(desc: ast.Description, storage_name: str,
+                  new_depth: int,
+                  rename: Optional[str] = None) -> ast.Description:
+    """Shrink (or grow) a memory macro.
+
+    Embedded dies are often dominated by over-provisioned on-chip
+    memories; shrinking instruction memory below the program size is
+    caught at load time during evaluation, making the candidate
+    infeasible rather than wrong.
+    """
+    storage = desc.storages.get(storage_name)
+    if storage is None or not storage.addressed:
+        raise ExplorationError(
+            f"{storage_name!r} is not an addressed storage"
+        )
+    if new_depth < 1:
+        raise ExplorationError("memory depth must be positive")
+    storages = dict(desc.storages)
+    storages[storage_name] = dataclasses.replace(storage, depth=new_depth)
+    return _clone(
+        desc,
+        name=rename or f"{desc.name}-{storage_name.lower()}{new_depth}",
+        storages=storages,
+    )
+
+
+def narrow_register_file(desc: ast.Description, new_depth: int,
+                         rename: Optional[str] = None) -> ast.Description:
+    """Halve-style narrowing of the register file and its name token.
+
+    The register token's value width shrinks, so every whole-parameter
+    bitfield assignment referencing it is split into the narrower parameter
+    part plus constant-zero padding bits (keeping instruction words and all
+    other encodings unchanged).
+    """
+    reg_files = [
+        s for s in desc.storages.values()
+        if s.kind is ast.StorageKind.REGISTER_FILE
+    ]
+    if not reg_files:
+        raise ExplorationError("description has no register file")
+    reg_file = max(reg_files, key=lambda s: s.depth or 0)
+    if not 1 < new_depth < (reg_file.depth or 0):
+        raise ExplorationError(
+            f"new depth {new_depth} must be between 2 and {reg_file.depth}"
+        )
+    reg_tokens = [
+        t for t in desc.tokens.values()
+        if t.kind is ast.TokenKind.PREFIXED
+        and t.hi - t.lo + 1 == reg_file.depth
+    ]
+    if not reg_tokens:
+        raise ExplorationError("no register token matches the file depth")
+    token = reg_tokens[0]
+    old_width = token.value_width
+    new_token = dataclasses.replace(token, hi=token.lo + new_depth - 1)
+    new_width = new_token.value_width
+    if new_width == old_width:
+        raise ExplorationError(
+            f"depth {new_depth} does not shrink the register token"
+        )
+
+    def fix_encoding(encoding, params):
+        reg_params = {
+            p.name for p in params if p.type_name == token.name
+        }
+        result = []
+        for assign in encoding:
+            rhs = assign.rhs
+            if (
+                isinstance(rhs, ast.EncParam)
+                and rhs.name in reg_params
+                and rhs.hi is None
+            ):
+                split = assign.lo + new_width
+                result.append(
+                    ast.BitAssign(
+                        split - 1, assign.lo,
+                        ast.EncParam(rhs.name, new_width - 1, 0),
+                        assign.location,
+                    )
+                )
+                result.append(
+                    ast.BitAssign(
+                        assign.hi, split, ast.EncConst(0), assign.location
+                    )
+                )
+            elif isinstance(rhs, ast.EncParam) and rhs.name in reg_params:
+                raise ExplorationError(
+                    "cannot narrow a register token used in sliced"
+                    " encodings"
+                )
+            else:
+                result.append(assign)
+        return tuple(result)
+
+    fields = []
+    for fld in desc.fields:
+        ops = tuple(
+            dataclasses.replace(
+                op, encoding=fix_encoding(op.encoding, op.params)
+            )
+            for op in fld.operations
+        )
+        fields.append(ast.Field(fld.name, ops, fld.location))
+    nonterminals = {}
+    for name, nt in desc.nonterminals.items():
+        options = tuple(
+            dataclasses.replace(
+                option,
+                encoding=fix_encoding(option.encoding, option.params),
+            )
+            for option in nt.options
+        )
+        nonterminals[name] = ast.NonTerminal(
+            nt.name, nt.width, options, nt.location
+        )
+    storages = dict(desc.storages)
+    storages[reg_file.name] = dataclasses.replace(
+        reg_file, depth=new_depth
+    )
+    tokens = dict(desc.tokens)
+    tokens[token.name] = new_token
+    candidate = _clone(
+        desc,
+        name=rename or f"{desc.name}-rf{new_depth}",
+        tokens=tokens,
+        storages=storages,
+        fields=fields,
+        nonterminals=nonterminals,
+    )
+    semantics.check(candidate)
+    return candidate

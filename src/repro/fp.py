@@ -1,0 +1,140 @@
+"""Bit-true IEEE-754 single-precision helpers.
+
+The SPAM target of the paper is a floating-point VLIW processor.  The XSIM
+simulators are *bit-true*, so floating-point operations must produce exactly
+the bit pattern the hardware would.  We represent FP values as 32-bit unsigned
+integers (the raw word stored in a register) and round-trip through the host
+``float`` via :mod:`struct`, then re-truncate to single precision.  Host
+doubles exactly represent every binary32 value, and a single rounding from the
+double-precision result matches an IEEE-754 binary32 fused-less implementation
+for the primitive ops (+, -, *, /), which is what a 1990s FP datapath block
+provides.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = [
+    "float_to_bits",
+    "bits_to_float",
+    "fadd",
+    "fsub",
+    "fmul",
+    "fdiv",
+    "fneg",
+    "fabs_",
+    "fcmp",
+    "itof",
+    "ftoi",
+    "is_nan_bits",
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def float_to_bits(value: float) -> int:
+    """Return the binary32 bit pattern of *value* (rounded to nearest even)."""
+    try:
+        packed = struct.pack("<f", value)
+    except OverflowError:
+        # Overflow to signed infinity, as IEEE round-to-nearest does.
+        packed = struct.pack("<f", math.inf if value > 0 else -math.inf)
+    return struct.unpack("<I", packed)[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Return the Python float whose binary32 pattern is *bits*."""
+    return struct.unpack("<f", struct.pack("<I", bits & _MASK32))[0]
+
+
+def _binary32_op(a_bits: int, b_bits: int, op) -> int:
+    a = bits_to_float(a_bits)
+    b = bits_to_float(b_bits)
+    try:
+        result = op(a, b)
+    except ZeroDivisionError:
+        if math.isnan(a) or a == 0.0:
+            return 0x7FC00000  # quiet NaN (0/0, NaN/0)
+        sign = (a < 0.0) ^ (math.copysign(1.0, b) < 0.0)
+        return 0xFF800000 if sign else 0x7F800000
+    return float_to_bits(result)
+
+
+def fadd(a_bits: int, b_bits: int) -> int:
+    """binary32 addition on raw bit patterns."""
+    return _binary32_op(a_bits, b_bits, lambda a, b: a + b)
+
+
+def fsub(a_bits: int, b_bits: int) -> int:
+    """binary32 subtraction on raw bit patterns."""
+    return _binary32_op(a_bits, b_bits, lambda a, b: a - b)
+
+
+def fmul(a_bits: int, b_bits: int) -> int:
+    """binary32 multiplication on raw bit patterns."""
+    return _binary32_op(a_bits, b_bits, lambda a, b: a * b)
+
+
+def fdiv(a_bits: int, b_bits: int) -> int:
+    """binary32 division on raw bit patterns."""
+    return _binary32_op(a_bits, b_bits, lambda a, b: a / b)
+
+
+def fneg(a_bits: int) -> int:
+    """Flip the sign bit (IEEE negation is a pure sign-bit operation)."""
+    return (a_bits ^ 0x80000000) & _MASK32
+
+
+def fabs_(a_bits: int) -> int:
+    """Clear the sign bit."""
+    return a_bits & 0x7FFFFFFF
+
+
+def fcmp(a_bits: int, b_bits: int) -> int:
+    """Three-way compare: -1, 0, or 1 (unordered compares return -2).
+
+    Encoded as a small signed integer for use inside RTL conditions.
+    """
+    a = bits_to_float(a_bits)
+    b = bits_to_float(b_bits)
+    if math.isnan(a) or math.isnan(b):
+        return -2
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def itof(value: int, width: int = 32) -> int:
+    """Convert a *width*-bit two's-complement integer to binary32 bits."""
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return float_to_bits(float(value))
+
+
+def ftoi(bits: int, width: int = 32) -> int:
+    """Convert binary32 bits to a *width*-bit two's-complement integer.
+
+    Truncates toward zero; saturates on overflow/NaN like most mid-90s DSP
+    FP units do.
+    """
+    value = bits_to_float(bits)
+    max_pos = (1 << (width - 1)) - 1
+    min_neg = -(1 << (width - 1))
+    if math.isnan(value):
+        result = 0
+    elif value >= max_pos:
+        result = max_pos
+    elif value <= min_neg:
+        result = min_neg
+    else:
+        result = int(value)  # truncates toward zero
+    return result & ((1 << width) - 1)
+
+
+def is_nan_bits(bits: int) -> bool:
+    """True if the binary32 pattern encodes a NaN."""
+    return (bits & 0x7F800000) == 0x7F800000 and (bits & 0x007FFFFF) != 0

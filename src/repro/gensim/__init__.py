@@ -1,0 +1,35 @@
+"""GENSIM — simulator generation (paper section 3)."""
+
+from .disassembler import DecodedInstruction, DecodedOperation, Disassembler
+from .generator import emit_source, generate_simulator, write_source
+from .monitors import Monitor, MonitorSet
+from .render import render_instruction, render_operation
+from .scheduler import Breakpoint, LoadedProgram, Scheduler
+from .state import State
+from .stats import SimulationStats
+from .trace import CallbackTrace, FileTrace, ListTrace, TraceRecord, open_trace_file
+from .xsim import XSim
+
+__all__ = [
+    "DecodedInstruction",
+    "DecodedOperation",
+    "Disassembler",
+    "emit_source",
+    "generate_simulator",
+    "write_source",
+    "Monitor",
+    "MonitorSet",
+    "render_instruction",
+    "render_operation",
+    "Breakpoint",
+    "LoadedProgram",
+    "Scheduler",
+    "State",
+    "SimulationStats",
+    "CallbackTrace",
+    "FileTrace",
+    "ListTrace",
+    "TraceRecord",
+    "open_trace_file",
+    "XSim",
+]

@@ -1,0 +1,277 @@
+"""XSIM command-line interface with batch-file support (paper §3.1).
+
+"They provide both a graphical user interface and a command-line interface
+with full batch-file support" — this is the command-line half (the Tcl/Tk
+GUI is out of scope, see DESIGN.md).  Commands cover the paper's feature
+list: state examine/set, run/step, breakpoints with attached commands,
+state monitors, execution traces, and the off-line disassembly listing.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError
+from .trace import open_trace_file
+from .xsim import XSim
+
+_HELP = """\
+commands:
+  load FILE              load a hex program (one word per line)
+  asm FILE               assemble FILE and load it
+  run [MAX]              run until halt/breakpoint (default MAX 1000000)
+  step [N]               execute N instructions (default 1)
+  reset                  reset cycle counter and PC
+  examine NAME [INDEX]   print a state element (alias: x)
+  set NAME [INDEX] VALUE write a state element
+  break ADDR [CMD; ...]  set a breakpoint, optionally with attached commands
+  delete ADDR            remove a breakpoint
+  watch NAME [INDEX]     monitor a state element for changes
+  trace FILE | off       write an execution address trace
+  dis                    print the off-line disassembly listing
+  stats                  print the performance report
+  batch FILE             execute commands from FILE
+  echo TEXT              print TEXT
+  help                   this message
+  quit                   leave the simulator
+"""
+
+
+class CommandLine:
+    """A line-oriented driver around one XSIM instance."""
+
+    def __init__(self, sim: XSim, out: Optional[Callable[[str], None]] = None):
+        self.sim = sim
+        self.out = out or (lambda text: print(text))
+        self.done = False
+        self._trace = None
+        sim.scheduler.command_dispatcher = self.execute
+        self._handlers: Dict[str, Callable[[List[str]], None]] = {
+            "load": self._cmd_load,
+            "asm": self._cmd_asm,
+            "run": self._cmd_run,
+            "step": self._cmd_step,
+            "reset": self._cmd_reset,
+            "examine": self._cmd_examine,
+            "x": self._cmd_examine,
+            "set": self._cmd_set,
+            "break": self._cmd_break,
+            "delete": self._cmd_delete,
+            "watch": self._cmd_watch,
+            "trace": self._cmd_trace,
+            "dis": self._cmd_dis,
+            "stats": self._cmd_stats,
+            "batch": self._cmd_batch,
+            "echo": self._cmd_echo,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit,
+        }
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> None:
+        """Execute one command line (also the attached-command hook)."""
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            return
+        try:
+            parts = shlex.split(line)
+        except ValueError as exc:
+            self.out(f"error: {exc}")
+            return
+        handler = self._handlers.get(parts[0])
+        if handler is None:
+            self.out(f"error: unknown command {parts[0]!r} (try 'help')")
+            return
+        try:
+            handler(parts[1:])
+        except ReproError as exc:
+            self.out(f"error: {exc}")
+        except (ValueError, IndexError) as exc:
+            self.out(f"error: {exc}")
+
+    def run_batch(self, path: str) -> None:
+        """Full batch-file support: one command per line."""
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if self.done:
+                    break
+                self.execute(line)
+
+    def interact(self, stream=None) -> None:
+        """Read commands until EOF or ``quit``."""
+        stream = stream or sys.stdin
+        while not self.done:
+            try:
+                self.out(f"xsim[{self.sim.cycle}]> ")
+                line = stream.readline()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                break
+            if not line:
+                break
+            self.execute(line)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _cmd_load(self, args):
+        self.sim.load_binary(args[0])
+        self.out(f"loaded {len(self.sim.program.words)} words")
+
+    def _cmd_asm(self, args):
+        from ..asm import Assembler
+
+        program = Assembler(self.sim.desc).assemble_file(args[0])
+        self.sim.load_words(program.words, program.origin)
+        self.out(f"assembled and loaded {len(program.words)} words")
+
+    def _cmd_run(self, args):
+        max_steps = int(args[0], 0) if args else 1_000_000
+        reason = self.sim.run(max_steps)
+        self.out(
+            f"stopped: {reason} at PC=0x{self.sim.state.pc:x},"
+            f" cycle {self.sim.cycle}"
+        )
+        self._flush_monitors()
+
+    def _cmd_step(self, args):
+        count = int(args[0], 0) if args else 1
+        for _ in range(count):
+            if not self.sim.step():
+                self.out("halted")
+                break
+        self.out(f"PC=0x{self.sim.state.pc:x}, cycle {self.sim.cycle}")
+        self._flush_monitors()
+
+    def _cmd_reset(self, args):
+        self.sim.reset()
+        self.out("reset")
+
+    def _parse_location(self, args):
+        name = args[0]
+        index = None
+        rest = args[1:]
+        if "[" in name:
+            name, bracket = name.split("[", 1)
+            index = int(bracket.rstrip("]"), 0)
+        elif rest and rest[0] not in ("",) and len(rest) >= 1:
+            storage = self.sim.desc.storages.get(name)
+            if storage is not None and storage.addressed:
+                index = int(rest[0], 0)
+                rest = rest[1:]
+        return name, index, rest
+
+    def _cmd_examine(self, args):
+        name, index, _ = self._parse_location(args)
+        value = self.sim.read(name, index)
+        location = name if index is None else f"{name}[{index}]"
+        self.out(f"{location} = 0x{value:x} ({value})")
+
+    def _cmd_set(self, args):
+        name, index, rest = self._parse_location(args)
+        value = int(rest[0], 0)
+        self.sim.write(name, value, index)
+        location = name if index is None else f"{name}[{index}]"
+        self.out(f"{location} <- 0x{self.sim.read(name, index):x}")
+
+    def _cmd_break(self, args):
+        address = int(args[0], 0)
+        commands = []
+        if len(args) > 1:
+            commands = [c.strip() for c in " ".join(args[1:]).split(";")]
+        self.sim.set_breakpoint(address, commands)
+        self.out(f"breakpoint at 0x{address:x}")
+
+    def _cmd_delete(self, args):
+        self.sim.clear_breakpoint(int(args[0], 0))
+        self.out("breakpoint removed")
+
+    def _cmd_watch(self, args):
+        name, index, _ = self._parse_location(args)
+        self.sim.watch(name, index)
+        location = name if index is None else f"{name}[{index}]"
+        self.out(f"watching {location}")
+
+    def _flush_monitors(self):
+        messages = self.sim.monitor_messages
+        for message in messages:
+            self.out(message)
+        del messages[:]
+
+    def _cmd_trace(self, args):
+        if self._trace is not None:
+            self._trace.close()
+            self._trace = None
+        if args and args[0] != "off":
+            self._trace = open_trace_file(args[0])
+            self.sim.set_trace(self._trace)
+            self.out(f"tracing to {args[0]}")
+        else:
+            self.sim.set_trace(None)
+            self.out("tracing off")
+
+    def _cmd_dis(self, args):
+        for line in self.sim.disassembly_listing():
+            self.out(line)
+
+    def _cmd_stats(self, args):
+        self.out(self.sim.stats.report(self.sim.desc))
+
+    def _cmd_batch(self, args):
+        self.run_batch(args[0])
+
+    def _cmd_echo(self, args):
+        self.out(" ".join(args))
+
+    def _cmd_help(self, args):
+        self.out(_HELP)
+
+    def _cmd_quit(self, args):
+        if self._trace is not None:
+            self._trace.close()
+        self.done = True
+
+    # ------------------------------------------------------------------
+
+    def main(self, argv: List[str]) -> int:
+        """Entry point used by the generated simulators' ``__main__``."""
+        batch = None
+        positional = []
+        i = 0
+        while i < len(argv):
+            if argv[i] == "--batch":
+                batch = argv[i + 1]
+                i += 2
+            else:
+                positional.append(argv[i])
+                i += 1
+        if positional:
+            if positional[0].endswith(".s"):
+                self._cmd_asm(positional[:1])
+            else:
+                self._cmd_load(positional[:1])
+        if batch is not None:
+            self.run_batch(batch)
+        else:
+            self.interact()
+        return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point: ``xsim <description.isdl> [program] [--batch f]``."""
+    from ..isdl import load_file
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: xsim <description.isdl> [program.hex|program.s]"
+              " [--batch commands.txt]")
+        return 2
+    desc = load_file(argv[0])
+    return CommandLine(XSim(desc)).main(argv[1:])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

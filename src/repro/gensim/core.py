@@ -1,0 +1,374 @@
+"""The XSIM processing core (paper Fig. 2, part 6; §3.3.3).
+
+Each operation and non-terminal option carries an RTL action and side-effect
+block.  GENSIM translates those into routines; this module is the routine
+library.  The book-keeping guarantees of the paper are implemented here:
+
+* **read-before-write** — the cycle is split into an evaluation phase, in
+  which every RTL statement reads the *old* state and computes its result
+  into temporary storage (a pending-write list), and a write-back phase that
+  commits the temporaries;
+* **side effects after actions** — the evaluation phase is itself split into
+  an action-evaluation and a side-effect-evaluation phase, so side-effect
+  writes land after action writes within the same cycle;
+* **latency** — a write with latency *L* is withheld from the state for
+  ``L - 1`` further cycles (the scheduler owns the delay queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import fp
+from ..encoding.bits import mask, sign_extend
+from ..errors import SimulationError
+from ..isdl import ast, rtl
+from .state import State
+
+# ---------------------------------------------------------------------------
+# Intrinsic implementations
+# ---------------------------------------------------------------------------
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationError("division by zero in RTL evaluation")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    return a - _trunc_div(a, b) * b
+
+
+INTRINSIC_IMPLS: Dict[str, Callable[..., int]] = {
+    "carry": lambda a, b, w: ((a & mask(w)) + (b & mask(w))) >> w & 1,
+    "carryc": lambda a, b, c, w: ((a & mask(w)) + (b & mask(w)) + (c & 1))
+    >> w
+    & 1,
+    "borrow": lambda a, b, w: 1 if (a & mask(w)) < (b & mask(w)) else 0,
+    "overflow": lambda a, b, w: int(
+        not -(1 << (w - 1))
+        <= sign_extend(a, w) + sign_extend(b, w)
+        < (1 << (w - 1))
+    ),
+    "sext": lambda x, w: sign_extend(x, w),
+    "zext": lambda x, w: x & mask(w),
+    "bit": lambda x, i: (x >> i) & 1,
+    "slice": lambda x, hi, lo: (x >> lo) & mask(hi - lo + 1),
+    "abs": lambda x: abs(x),
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+    "fadd": fp.fadd,
+    "fsub": fp.fsub,
+    "fmul": fp.fmul,
+    "fdiv": fp.fdiv,
+    "fneg": fp.fneg,
+    "fabs": fp.fabs_,
+    "fcmp": fp.fcmp,
+    "itof": fp.itof,
+    "ftoi": fp.ftoi,
+}
+
+_BINOPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _trunc_div,
+    "%": _trunc_mod,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+# ---------------------------------------------------------------------------
+# Pending writes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PendingWrite:
+    """A write computed in the evaluation phase, not yet committed.
+
+    ``delay`` counts cycles until commit: 0 = end of the current cycle
+    (latency 1), 1 = end of the next cycle (latency 2), and so on.
+    """
+
+    storage: str
+    index: Optional[int]
+    hi: Optional[int]
+    lo: Optional[int]
+    value: int
+    delay: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one instruction execution produced."""
+
+    action_writes: List[PendingWrite] = field(default_factory=list)
+    side_effect_writes: List[PendingWrite] = field(default_factory=list)
+    cycles: int = 1  # cycle cost of the instruction (max over its operations)
+
+
+# ---------------------------------------------------------------------------
+# Bound operands
+# ---------------------------------------------------------------------------
+
+
+class BoundNt:
+    """A non-terminal operand bound for one execution.
+
+    Holds the matched option, the sub-environment of its parameters, the
+    value its action computed for ``$$`` (if evaluated), and the transparent
+    write target (if the option is usable as a destination).
+    """
+
+    __slots__ = ("nt", "option", "env", "value", "evaluated")
+
+    def __init__(self, nt: ast.NonTerminal, option: ast.NtOption, env):
+        self.nt = nt
+        self.option = option
+        self.env = env
+        self.value: Optional[int] = None
+        self.evaluated = False
+
+
+class ProcessingCore:
+    """Executes decoded operations against a :class:`State`."""
+
+    def __init__(self, desc: ast.Description):
+        self.desc = desc
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        state: State,
+        selections: List[Tuple[ast.Operation, Dict[str, object]]],
+    ) -> ExecutionResult:
+        """Execute the operations of one instruction (one per field).
+
+        *selections* holds ``(operation, operands)`` pairs; operands are the
+        decoded-operand trees of :mod:`repro.encoding.signature`.
+        """
+        result = ExecutionResult(cycles=0)
+        bound_list = []
+        for op, operands in selections:
+            env = self._bind(state, op.params, operands, result)
+            bound_list.append((op, env))
+            result.cycles = max(result.cycles, self._total_cycles(op, env))
+        # Action-evaluation phase: every read sees the pre-cycle state
+        # because writes only accumulate in the pending lists.
+        for op, env in bound_list:
+            delay = op.timing.latency - 1
+            self._run_block(
+                state, op.action, env, result.action_writes, delay, result
+            )
+        # Side-effect-evaluation phase (still the same cycle).
+        for op, env in bound_list:
+            delay = op.timing.latency - 1
+            self._run_block(
+                state, op.side_effect, env, result.side_effect_writes, delay,
+                result,
+            )
+            for bound in env.values():
+                if isinstance(bound, BoundNt) and bound.option.side_effect:
+                    nt_delay = bound.option.timing.latency - 1
+                    self._run_block(
+                        state,
+                        bound.option.side_effect,
+                        bound.env,
+                        result.side_effect_writes,
+                        nt_delay,
+                        result,
+                    )
+        if result.cycles <= 0:
+            result.cycles = 1
+        return result
+
+    def _total_cycles(self, op: ast.Operation, env) -> int:
+        """Operation cycle cost plus the costs of its bound NT options."""
+        cycles = op.costs.cycle
+        for bound in env.values():
+            if isinstance(bound, BoundNt):
+                cycles += bound.option.costs.cycle
+        return max(cycles, 1)
+
+    # ------------------------------------------------------------------
+    # Operand binding
+    # ------------------------------------------------------------------
+
+    def _bind(self, state, params, operands, result) -> Dict[str, object]:
+        env: Dict[str, object] = {}
+        for param in params:
+            ptype = self.desc.param_type(param)
+            operand = operands[param.name]
+            if isinstance(ptype, ast.TokenDef):
+                env[param.name] = operand
+            else:
+                label, sub_operands = operand
+                option = ptype.option(label)
+                sub_env = self._bind(state, option.params, sub_operands, result)
+                env[param.name] = BoundNt(ptype, option, sub_env)
+        return env
+
+    def _nt_value(self, state, bound: BoundNt, result) -> int:
+        """Evaluate a non-terminal's action to obtain its ``$$`` value.
+
+        The action runs at most once per instruction execution, so an NT
+        with a state-changing action (e.g. auto-increment addressing)
+        mutates state exactly once however often its value is referenced.
+        Its writes land in the action-write list.
+        """
+        if bound.evaluated:
+            return bound.value or 0
+        bound.evaluated = True
+        delay = bound.option.timing.latency - 1
+        holder: Dict[str, int] = {}
+        self._run_block(
+            state,
+            bound.option.action,
+            bound.env,
+            result.action_writes,
+            delay,
+            result,
+            nt_value=holder,
+        )
+        bound.value = holder.get("$$", 0)
+        return bound.value
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def _run_block(
+        self, state, stmts, env, sink: List[PendingWrite], delay: int,
+        result: ExecutionResult,
+        nt_value: Optional[Dict[str, int]] = None,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, rtl.Assign):
+                value = self._eval(state, stmt.expr, env, result, nt_value)
+                self._assign(
+                    state, stmt.dest, value, env, sink, delay, nt_value, result
+                )
+            elif isinstance(stmt, rtl.If):
+                cond = self._eval(state, stmt.cond, env, result, nt_value)
+                branch = stmt.then if cond else stmt.orelse
+                self._run_block(
+                    state, branch, env, sink, delay, result, nt_value
+                )
+            else:
+                raise SimulationError(f"unknown RTL statement {stmt!r}")
+
+    def _assign(
+        self, state, dest, value, env, sink, delay, nt_value, result
+    ) -> None:
+        if isinstance(dest, rtl.NtLV):
+            if nt_value is None:
+                raise SimulationError("'$$' assigned outside a non-terminal")
+            nt_value["$$"] = value
+            return
+        if isinstance(dest, rtl.ParamLV):
+            bound = env[dest.name]
+            if not isinstance(bound, BoundNt):
+                raise SimulationError(
+                    f"parameter {dest.name!r} is not a non-terminal"
+                    " destination"
+                )
+            target = bound.option.storage_target()
+            if target is None:
+                raise SimulationError(
+                    f"option {bound.option.label!r} of {bound.nt.name!r}"
+                    " cannot be a destination"
+                )
+            index = None
+            if target.index is not None:
+                index = self._eval(state, target.index, bound.env, result, None)
+            sink.append(
+                PendingWrite(
+                    target.storage, index, target.hi, target.lo, value, delay
+                )
+            )
+            return
+        if isinstance(dest, rtl.StorageLV):
+            index = None
+            if dest.index is not None:
+                index = self._eval(state, dest.index, env, result, nt_value)
+            sink.append(
+                PendingWrite(dest.storage, index, dest.hi, dest.lo, value, delay)
+            )
+            return
+        raise SimulationError(f"invalid assignment destination {dest!r}")
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def _eval(self, state, expr, env, result, nt_value) -> int:
+        if isinstance(expr, rtl.IntLit):
+            return expr.value
+        if isinstance(expr, rtl.ParamRef):
+            bound = env[expr.name]
+            if isinstance(bound, BoundNt):
+                return self._nt_value(state, bound, result)
+            return bound
+        if isinstance(expr, rtl.NtValue):
+            if nt_value is None or "$$" not in nt_value:
+                raise SimulationError("'$$' read before it was assigned")
+            return nt_value["$$"]
+        if isinstance(expr, rtl.StorageRead):
+            index = None
+            if expr.index is not None:
+                index = self._eval(state, expr.index, env, result, nt_value)
+            return state.read(expr.storage, index, expr.hi, expr.lo)
+        if isinstance(expr, rtl.BinOp):
+            left = self._eval(state, expr.left, env, result, nt_value)
+            if expr.op == "&&" and not left:
+                return 0
+            if expr.op == "||" and left:
+                return 1
+            right = self._eval(state, expr.right, env, result, nt_value)
+            try:
+                return _BINOPS[expr.op](left, right)
+            except KeyError:
+                raise SimulationError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, rtl.UnOp):
+            operand = self._eval(state, expr.operand, env, result, nt_value)
+            if expr.op == "~":
+                return ~operand
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return int(not operand)
+            raise SimulationError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, rtl.Cond):
+            cond = self._eval(state, expr.cond, env, result, nt_value)
+            chosen = expr.then if cond else expr.other
+            return self._eval(state, chosen, env, result, nt_value)
+        if isinstance(expr, rtl.Call):
+            impl = INTRINSIC_IMPLS.get(expr.func)
+            if impl is None:
+                raise SimulationError(f"unknown intrinsic {expr.func!r}")
+            args = [
+                self._eval(state, arg, env, result, nt_value)
+                for arg in expr.args
+            ]
+            return impl(*args)
+        raise SimulationError(f"unknown RTL expression {expr!r}")
+

@@ -1,0 +1,150 @@
+"""The generated disassembler (paper §3.3.2, Fig. 4).
+
+The program to be simulated is disassembled *off-line at load time* to
+determine which operations correspond to each input instruction.  The
+algorithm is the paper's: for each field, match the constant part of every
+operation signature against the instruction word (unique for a decodable
+assembly function), then reverse the parameter encodings — recursing through
+non-terminal return values (``disassemble_ntl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..encoding.signature import Operand, Signature, SignatureTable
+from ..errors import DisassemblyError
+from ..isdl import ast
+
+
+@dataclass(frozen=True)
+class DecodedOperation:
+    """One operation recovered from an instruction word."""
+
+    field: str
+    op_name: str
+    operands: Dict[str, Operand]
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """A whole (possibly VLIW) instruction: one operation per field."""
+
+    word: int
+    operations: Tuple[DecodedOperation, ...]
+
+    def operation_in(self, field_name: str) -> Optional[DecodedOperation]:
+        for op in self.operations:
+            if op.field == field_name:
+                return op
+        return None
+
+    def selection(self) -> Dict[str, str]:
+        """field → operation-name map (for constraint evaluation)."""
+        return {op.field: op.op_name for op in self.operations}
+
+
+class Disassembler:
+    """The disassembly function derived from the bitfield assignments."""
+
+    def __init__(self, desc: ast.Description,
+                 table: Optional[SignatureTable] = None):
+        self.desc = desc
+        self.table = table or SignatureTable(desc)
+
+    # -- paper Fig. 4: disassemble(I) ---------------------------------------
+
+    def disassemble(self, word: int) -> DecodedInstruction:
+        """Decode one instruction word into per-field operations."""
+        operations: List[DecodedOperation] = []
+        for fld in self.desc.fields:
+            operations.append(self._disassemble_field(word, fld))
+        return DecodedInstruction(word, tuple(operations))
+
+    # -- paper Fig. 4: disassemble_field(s, f) ------------------------------
+
+    def _disassemble_field(self, word: int, fld: ast.Field) -> DecodedOperation:
+        for op in fld.operations:
+            signature = self.table.operation(fld.name, op.name)
+            if not signature.matches(word):
+                continue
+            operands = self._decode_params(word, op.params, signature)
+            return DecodedOperation(fld.name, op.name, operands)
+        raise DisassemblyError(
+            f"ILLEGAL INSTRUCTION: word 0x{word:x} matches no operation in"
+            f" field {fld.name!r}"
+        )
+
+    # -- paper Fig. 4: disassemble_ntl(s, n) --------------------------------
+
+    def _disassemble_ntl(self, value: int, nt: ast.NonTerminal) -> Operand:
+        for option in nt.options:
+            signature = self.table.option(nt.name, option.label)
+            if not signature.matches(value):
+                continue
+            operands = self._decode_params(value, option.params, signature)
+            return (option.label, operands)
+        raise DisassemblyError(
+            f"ILLEGAL INSTRUCTION: value 0x{value:x} matches no option of"
+            f" non-terminal {nt.name!r}"
+        )
+
+    def _decode_params(self, word: int, params, signature: Signature):
+        operands: Dict[str, Operand] = {}
+        for param in params:
+            ptype = self.desc.param_type(param)
+            raw = signature.extract(word, param.name)
+            if isinstance(ptype, ast.TokenDef):
+                operands[param.name] = ptype.decode_value(raw)
+            else:
+                operands[param.name] = self._disassemble_ntl(raw, ptype)
+        return operands
+
+
+# ---------------------------------------------------------------------------
+# Decodability analysis
+# ---------------------------------------------------------------------------
+
+
+def find_ambiguities(desc: ast.Description,
+                     table: Optional[SignatureTable] = None) -> List[str]:
+    """Report operation pairs whose constant signatures do not conflict.
+
+    The paper guarantees a unique constant match "for a decodable assembly
+    function"; this utility verifies that property for a description.  Two
+    operations of the same field are distinguishable iff some bit is constant
+    in both signatures with opposite values.  (An operation whose signature
+    constants are a superset of another's — e.g. a specialised encoding —
+    is reported, because match order then decides.)
+    """
+    table = table or SignatureTable(desc)
+    problems = []
+    for fld in desc.fields:
+        ops = fld.operations
+        for i, op_a in enumerate(ops):
+            sig_a = table.operation(fld.name, op_a.name)
+            for op_b in ops[i + 1 :]:
+                sig_b = table.operation(fld.name, op_b.name)
+                common = sig_a.constant_mask & sig_b.constant_mask
+                if (sig_a.constant_value & common) == (
+                    sig_b.constant_value & common
+                ):
+                    problems.append(
+                        f"{fld.name}.{op_a.name} and {fld.name}.{op_b.name}"
+                        " have non-conflicting constant signatures"
+                    )
+    for nt in desc.nonterminals.values():
+        for i, opt_a in enumerate(nt.options):
+            sig_a = table.option(nt.name, opt_a.label)
+            for opt_b in nt.options[i + 1 :]:
+                sig_b = table.option(nt.name, opt_b.label)
+                common = sig_a.constant_mask & sig_b.constant_mask
+                if (sig_a.constant_value & common) == (
+                    sig_b.constant_value & common
+                ):
+                    problems.append(
+                        f"{nt.name}.{opt_a.label} and {nt.name}.{opt_b.label}"
+                        " have non-conflicting constant signatures"
+                    )
+    return problems

@@ -1,0 +1,62 @@
+"""Rendering decoded instructions back to assembly text.
+
+The off-line disassembler produces operand trees; this module renders them
+through the syntax templates of the description (the inverse of the
+assembler's parsing).  Used for trace records, listings, and the
+interactive ``dis`` command.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ReproError
+from ..isdl import ast
+from .disassembler import DecodedInstruction, DecodedOperation
+
+
+def render_operand(desc: ast.Description, param: ast.Param, operand) -> str:
+    """Render one operand (token value or NT tree) to assembly text."""
+    ptype = desc.param_type(param)
+    if isinstance(ptype, ast.TokenDef):
+        if ptype.kind is ast.TokenKind.PREFIXED:
+            return f"{ptype.prefix}{operand}"
+        if ptype.kind is ast.TokenKind.ENUM:
+            for symbol, value in ptype.symbols:
+                if value == operand:
+                    return symbol
+            raise ReproError(
+                f"no symbol of enum token {ptype.name} has value {operand}"
+            )
+        return str(operand)
+    label, sub_operands = operand
+    option = ptype.option(label)
+    template = option.syntax or _default_option_syntax(option)
+    return _fill(desc, template, option.params, sub_operands)
+
+
+def render_operation(desc: ast.Description, decoded: DecodedOperation) -> str:
+    """Render one decoded operation to assembly text."""
+    op = desc.operation(decoded.field, decoded.op_name)
+    template = op.syntax or ast.default_syntax(op.name, op.params)
+    return _fill(desc, template, op.params, decoded.operands)
+
+
+def render_instruction(desc: ast.Description,
+                       decoded: DecodedInstruction) -> str:
+    """Render a whole instruction; VLIW fields joined with ``|``."""
+    parts = [render_operation(desc, dop) for dop in decoded.operations]
+    return " | ".join(parts)
+
+
+def _default_option_syntax(option: ast.NtOption) -> str:
+    return ", ".join(f"%{p.name}" for p in option.params)
+
+
+def _fill(desc, template: str, params, operands: Dict[str, object]) -> str:
+    """Substitute ``%name`` placeholders (longest names first)."""
+    text = template
+    for param in sorted(params, key=lambda p: -len(p.name)):
+        rendered = render_operand(desc, param, operands[param.name])
+        text = text.replace(f"%{param.name}", rendered)
+    return text

@@ -1,0 +1,307 @@
+"""The XSIM scheduler (paper Fig. 2, part 2).
+
+"The scheduler is responsible for sequencing the instructions during
+execution, managing breakpoints, dumping the execution traces to a file or
+processing program, and dispatching attached commands back to the user
+interface for processing."
+
+Cycle model
+-----------
+``cycle`` counts completed cycles.  One :meth:`step`:
+
+1. commits every pending (delayed) write that has come due — so results with
+   latency 1 are visible to this instruction;
+2. charges the statically computed stall cycles for the fetch address and
+   commits anything that came due during the stall;
+3. executes the instruction at the PC through the processing core (all reads
+   see pre-cycle state; writes accumulate);
+4. schedules the produced writes: a write with latency *L* comes due
+   ``L - 1`` cycles after this instruction retires (action writes commit
+   before side-effect writes of the same cycle);
+5. advances the cycle counter by the instruction's cycle cost and sets the
+   default next PC (``address + size``); a committed PC write from a branch
+   overrides it on the next step.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..errors import SimulationError
+from ..isdl import ast
+from .core import PendingWrite, ProcessingCore
+from .disassembler import DecodedInstruction
+from .state import State
+from .stats import SimulationStats
+from .trace import TraceRecord, TraceSink
+
+
+@dataclass
+class PreparedInstruction:
+    """Per-address execution data resolved once at load time."""
+
+    decoded: DecodedInstruction
+    selections: List  # [(Operation, operands)] for the processing core
+    size: int
+    ops_meta: List  # [(field, op_name, occupies_unit)] for statistics
+
+
+@dataclass
+class LoadedProgram:
+    """The result of off-line disassembly at load time (paper §3.1)."""
+
+    words: List[int]
+    decoded: List[Optional[DecodedInstruction]]
+    stalls: List[int]
+    texts: List[str]
+    origin: int = 0
+    prepared: List[Optional[PreparedInstruction]] = field(
+        default_factory=list
+    )
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+@dataclass
+class Breakpoint:
+    """A breakpoint with optional attached commands (paper §3.1)."""
+
+    address: int
+    enabled: bool = True
+    hits: int = 0
+    commands: List[str] = field(default_factory=list)
+
+
+class Scheduler:
+    """Sequences decoded instructions against a :class:`State`."""
+
+    def __init__(
+        self,
+        desc: ast.Description,
+        state: State,
+        core: ProcessingCore,
+    ):
+        self.desc = desc
+        self.state = state
+        self.core = core
+        self.program: Optional[LoadedProgram] = None
+        self.cycle = 0
+        self.stats = SimulationStats()
+        self.breakpoints: Dict[int, Breakpoint] = {}
+        self.trace: Optional[TraceSink] = None
+        #: called with each attached-command string when a breakpoint hits
+        self.command_dispatcher: Optional[Callable[[str], None]] = None
+        self._pending: List = []  # heap of (due, seq, PendingWrite)
+        self._seq = 0
+        self._halt_flag = desc.attributes.get("halt_flag")
+
+    # ------------------------------------------------------------------
+    # Program management
+    # ------------------------------------------------------------------
+
+    def attach_program(self, program: LoadedProgram) -> None:
+        """Install a loaded program and copy it into instruction memory."""
+        self.program = program
+        if not program.prepared:
+            program.prepared = [
+                self._prepare(decoded) if decoded is not None else None
+                for decoded in program.decoded
+            ]
+        im = self.desc.instruction_memory()
+        for offset, word in enumerate(program.words):
+            address = program.origin + offset
+            if address >= (im.depth or 0):
+                raise SimulationError(
+                    f"program does not fit: address {address} exceeds"
+                    f" instruction memory depth {im.depth}"
+                )
+            self.state.write(im.name, word, index=address)
+        self.state.pc = program.origin
+
+    def reset(self) -> None:
+        """Reset execution state (cycle counter, pending writes, stats)."""
+        self.cycle = 0
+        self.stats = SimulationStats()
+        self._pending = []
+        self._seq = 0
+        if self.program is not None:
+            self.state.pc = self.program.origin
+
+    def _prepare(self, decoded: DecodedInstruction) -> PreparedInstruction:
+        selections = []
+        ops_meta = []
+        size = 1
+        for dop in decoded.operations:
+            op = self.desc.operation(dop.field, dop.op_name)
+            selections.append((op, dop.operands))
+            ops_meta.append((dop.field, dop.op_name, bool(op.action)))
+            size = max(size, op.costs.size)
+        return PreparedInstruction(decoded, selections, size, ops_meta)
+
+    # ------------------------------------------------------------------
+    # Halt / status
+    # ------------------------------------------------------------------
+
+    @property
+    def halted(self) -> bool:
+        if self._halt_flag is None:
+            return False
+        return self.state.read(self._halt_flag) != 0
+
+    # ------------------------------------------------------------------
+    # Write-back queue
+    # ------------------------------------------------------------------
+
+    def _schedule_writes(self, writes: List[PendingWrite], due: int) -> None:
+        for write in writes:
+            heapq.heappush(
+                self._pending, (due + write.delay, self._seq, write)
+            )
+            self._seq += 1
+
+    def _commit_due(self) -> None:
+        while self._pending and self._pending[0][0] <= self.cycle:
+            _, _, write = heapq.heappop(self._pending)
+            self.state.write(
+                write.storage, write.value, write.index, write.hi, write.lo
+            )
+
+    def drain(self) -> None:
+        """Commit every outstanding write regardless of due time.
+
+        Used when a run ends so final state comparisons (and tests) see the
+        architected result of the last instructions.
+        """
+        while self._pending:
+            _, _, write = heapq.heappop(self._pending)
+            self.state.write(
+                write.storage, write.value, write.index, write.hi, write.lo
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one instruction; False if already halted."""
+        if self.program is None:
+            raise SimulationError("no program loaded")
+        self._commit_due()
+        if self.halted:
+            return False
+        address = self.state.pc
+        self._charge_stalls(address)
+        prepared = self._fetch(address)
+        result = self.core.execute(self.state, prepared.selections)
+        self._record(address, prepared, result)
+        retire = self.cycle + result.cycles
+        self._schedule_writes(result.action_writes, retire)
+        self._schedule_writes(result.side_effect_writes, retire)
+        self.cycle = retire
+        self.state.pc = address + prepared.size
+        return True
+
+    def _charge_stalls(self, address: int) -> None:
+        program = self.program
+        offset = address - program.origin
+        if 0 <= offset < len(program.stalls):
+            stall = program.stalls[offset]
+            if stall:
+                self.cycle += stall
+                self.stats.stall_cycles += stall
+                self._commit_due()
+
+    def _fetch(self, address: int) -> PreparedInstruction:
+        program = self.program
+        offset = address - program.origin
+        if not 0 <= offset < len(program.prepared):
+            raise SimulationError(
+                f"PC 0x{address:x} outside the loaded program"
+            )
+        prepared = program.prepared[offset]
+        if prepared is None:
+            raise SimulationError(
+                f"executed undefined instruction memory at 0x{address:x}"
+            )
+        return prepared
+
+    def _record(self, address, prepared, result) -> None:
+        stats = self.stats
+        stats.instructions += 1
+        op_counts = stats.op_counts
+        field_busy = stats.field_busy
+        for field_name, op_name, busy in prepared.ops_meta:
+            op_counts[(field_name, op_name)] += 1
+            if busy:
+                field_busy[field_name] += 1
+        for dop in prepared.decoded.operations:
+            for operand in dop.operands.values():
+                self._count_nt(operand, stats)
+        if self.trace is not None:
+            offset = address - self.program.origin
+            text = self.program.texts[offset]
+            self.trace.emit(
+                TraceRecord(
+                    self.cycle, address, prepared.decoded.word, text
+                )
+            )
+
+    def _count_nt(self, operand, stats) -> None:
+        if isinstance(operand, tuple) and len(operand) == 2:
+            label, sub = operand
+            stats.nt_option_counts[label] += 1
+            for child in sub.values():
+                self._count_nt(child, stats)
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000,
+            honor_breakpoints: bool = True) -> str:
+        """Run until halt, breakpoint, or *max_steps*.
+
+        Returns ``"halted"``, ``"breakpoint"`` or ``"max_steps"``.  When a
+        breakpoint with attached commands is hit, the commands are handed to
+        :attr:`command_dispatcher` (paper: "dispatching attached commands
+        back to the user interface for processing").
+        """
+        steps = 0
+        while steps < max_steps:
+            if honor_breakpoints and steps > 0:
+                bp = self.breakpoints.get(self.state.pc)
+                if bp is not None and bp.enabled:
+                    bp.hits += 1
+                    self._dispatch_commands(bp)
+                    return "breakpoint"
+            if not self.step():
+                self._finish()
+                return "halted"
+            steps += 1
+            if self.halted:
+                # halt flags written with latency 1 commit on the next
+                # _commit_due; force visibility now for the caller
+                self._finish()
+                return "halted"
+            # Peek: a pending halt write coming due exactly now.
+            self._commit_due()
+            if self.halted:
+                self._finish()
+                return "halted"
+        self._finish()
+        return "max_steps"
+
+    def _finish(self) -> None:
+        self.drain()
+        self.stats.cycles = self.cycle
+        self.stats.storage_reads = dict(self.state.read_counts)
+        self.stats.storage_writes = dict(self.state.write_counts)
+
+    def _dispatch_commands(self, bp: Breakpoint) -> None:
+        if self.command_dispatcher is None:
+            return
+        for command in bp.commands:
+            self.command_dispatcher(command)

@@ -1,0 +1,82 @@
+"""Performance measurements and utilization statistics (paper §1, §3).
+
+The ILS exists to "measure performance, verify correctness and evaluate the
+suitability of the architecture" — cycle counts, per-operation and per-field
+utilization, storage traffic.  These statistics feed the exploration loop's
+improvement heuristics (:mod:`repro.explore`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isdl import ast
+
+
+@dataclass
+class SimulationStats:
+    """Counters accumulated by the scheduler during a run."""
+
+    cycles: int = 0  # total cycles including stalls
+    stall_cycles: int = 0  # cycles attributed to hazards
+    instructions: int = 0  # instructions issued
+    op_counts: Counter = field(default_factory=Counter)  # (field, op) -> n
+    field_busy: Counter = field(default_factory=Counter)  # field -> n
+    nt_option_counts: Counter = field(default_factory=Counter)
+
+    # Filled from the State when a run finishes.
+    storage_reads: Dict[str, int] = field(default_factory=dict)
+    storage_writes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def base_cycles(self) -> int:
+        """Cycles excluding stalls."""
+        return self.cycles - self.stall_cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def field_utilization(self, desc: ast.Description) -> Dict[str, float]:
+        """Fraction of issued instructions in which each field did work.
+
+        Explicit NOPs (operations with an empty action) do not count as
+        work — this is the number the exploration loop uses to find idle
+        functional units.
+        """
+        if self.instructions == 0:
+            return {fld.name: 0.0 for fld in desc.fields}
+        return {
+            fld.name: self.field_busy[fld.name] / self.instructions
+            for fld in desc.fields
+        }
+
+    def unused_operations(self, desc: ast.Description):
+        """Operations never executed in this run — candidates for removal."""
+        return [
+            (fld.name, op.name)
+            for fld, op in desc.operations()
+            if self.op_counts[(fld.name, op.name)] == 0
+        ]
+
+    def report(self, desc: ast.Description) -> str:
+        """A human-readable summary."""
+        lines = [
+            f"cycles:        {self.cycles}",
+            f"  base:        {self.base_cycles}",
+            f"  stalls:      {self.stall_cycles}",
+            f"instructions:  {self.instructions}",
+            f"CPI:           {self.cpi:.3f}",
+            "field utilization:",
+        ]
+        for name, util in self.field_utilization(desc).items():
+            lines.append(f"  {name:12s} {util * 100:5.1f}%")
+        lines.append("hottest operations:")
+        for (field_name, op_name), count in self.op_counts.most_common(8):
+            lines.append(f"  {field_name}.{op_name:12s} {count}")
+        return "\n".join(lines)

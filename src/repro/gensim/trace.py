@@ -1,0 +1,76 @@
+"""Execution address traces (paper §3.1).
+
+XSIM simulators "can create an execution address trace which is either
+written into a file or directly to a processing program".  :class:`TraceSink`
+abstracts the two destinations; the scheduler emits one record per executed
+instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed instruction."""
+
+    cycle: int  # cycle at which the instruction issued
+    address: int  # instruction-memory address
+    word: int  # raw instruction word
+    disassembly: str  # textual form (off-line disassembly result)
+
+
+class TraceSink:
+    """Base class: ignores everything."""
+
+    def emit(self, record: TraceRecord) -> None:  # pragma: no cover - trivial
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class ListTrace(TraceSink):
+    """Collects records in memory (the "processing program" flavour)."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+
+class CallbackTrace(TraceSink):
+    """Forwards records to a callable."""
+
+    def __init__(self, callback: Callable[[TraceRecord], None]):
+        self._callback = callback
+
+    def emit(self, record: TraceRecord) -> None:
+        self._callback(record)
+
+
+class FileTrace(TraceSink):
+    """Writes one line per record to an open text stream."""
+
+    def __init__(self, stream: TextIO, close_stream: bool = False):
+        self._stream = stream
+        self._close_stream = close_stream
+
+    def emit(self, record: TraceRecord) -> None:
+        self._stream.write(
+            f"{record.cycle:10d}  0x{record.address:06x}"
+            f"  0x{record.word:012x}  {record.disassembly}\n"
+        )
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._close_stream:
+            self._stream.close()
+
+
+def open_trace_file(path: str) -> FileTrace:
+    """Open *path* for writing and return a :class:`FileTrace` on it."""
+    return FileTrace(open(path, "w", encoding="utf-8"), close_stream=True)

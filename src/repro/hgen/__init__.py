@@ -1,0 +1,38 @@
+"""HGEN — hardware synthesis from ISDL (paper section 4)."""
+
+from .area import AreaReport, estimate_area
+from .cliques import clique_partition, verify_cliques
+from .datapath import DatapathBuilder, build_datapath
+from .decode import DecodeLine, decode_line, decode_lines_for
+from .netlist import Netlist
+from .nodes import HwNode, NodeId, extract_nodes
+from .power import PowerReport, estimate_power
+from .sharing import SharingAnalysis
+from .synthesize import HardwareModel, synthesize
+from .timing import TimingReport, estimate_timing
+from .verilog import count_lines, emit_verilog
+
+__all__ = [
+    "AreaReport",
+    "estimate_area",
+    "clique_partition",
+    "verify_cliques",
+    "DatapathBuilder",
+    "build_datapath",
+    "DecodeLine",
+    "decode_line",
+    "decode_lines_for",
+    "Netlist",
+    "HwNode",
+    "NodeId",
+    "extract_nodes",
+    "PowerReport",
+    "estimate_power",
+    "SharingAnalysis",
+    "HardwareModel",
+    "synthesize",
+    "TimingReport",
+    "estimate_timing",
+    "count_lines",
+    "emit_verilog",
+]

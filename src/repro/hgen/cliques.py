@@ -1,0 +1,81 @@
+"""Clique partitioning for functional-unit allocation (paper §4.1.2).
+
+"Once we have the entries in the matrix, we can simply create maximal
+cliques of the nodes that can be shared.  These maximal cliques are then
+synthesized into circuits."
+
+Partitioning a graph into a minimum number of cliques is NP-hard, so we use
+the classic greedy clique-partitioning heuristic of high-level synthesis
+(Tseng & Siewiorek): repeatedly merge the pair of super-nodes with the most
+common neighbours until no edge remains.  Each resulting clique becomes one
+functional-unit instance; by construction every clique is maximal within the
+remaining graph when it is closed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+
+def clique_partition(adjacency: Sequence[Set[int]]) -> List[List[int]]:
+    """Partition vertices into cliques of the compatibility graph.
+
+    *adjacency* is a list of neighbour sets (undirected, no self-loops).
+    Returns a list of cliques, each a sorted list of vertex indices; every
+    vertex appears in exactly one clique (isolated vertices form singleton
+    cliques).
+    """
+    n = len(adjacency)
+    # Super-node state: members and the set of vertices adjacent to *all*
+    # members (candidates for joining the clique).
+    members: List[List[int]] = [[i] for i in range(n)]
+    common: List[Set[int]] = [set(neigh) for neigh in adjacency]
+    alive: Set[int] = set(range(n))
+
+    def merge_gain(a: int, b: int) -> int:
+        return len(common[a] & common[b])
+
+    while True:
+        best = None
+        best_gain = -1
+        alive_list = sorted(alive)
+        for ai, a in enumerate(alive_list):
+            for b in alive_list[ai + 1 :]:
+                # b's members must all be common neighbours of a's clique.
+                if not set(members[b]) <= common[a]:
+                    continue
+                if not set(members[a]) <= common[b]:
+                    continue
+                gain = merge_gain(a, b)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (a, b)
+        if best is None:
+            break
+        a, b = best
+        members[a] = sorted(members[a] + members[b])
+        common[a] = common[a] & common[b]
+        common[a] -= set(members[a])
+        alive.discard(b)
+    return sorted(
+        (sorted(members[a]) for a in alive), key=lambda clique: clique[0]
+    )
+
+
+def verify_cliques(adjacency: Sequence[Set[int]],
+                   cliques: Sequence[Sequence[int]]) -> None:
+    """Assert the partition is a set of valid, disjoint, covering cliques."""
+    seen: Set[int] = set()
+    for clique in cliques:
+        for i, a in enumerate(clique):
+            if a in seen:
+                raise AssertionError(f"vertex {a} in two cliques")
+            seen.add(a)
+            for b in clique[i + 1 :]:
+                if b not in adjacency[a]:
+                    raise AssertionError(
+                        f"vertices {a} and {b} share a clique but are not"
+                        " compatible"
+                    )
+    if seen != set(range(len(adjacency))):
+        raise AssertionError("clique partition does not cover all vertices")

@@ -1,0 +1,62 @@
+"""Decode-logic generation (paper §4.2).
+
+"There is a direct relationship between the disassembler generated for the
+GENSIM system and the decode logic to be used in hardware: they both
+implement the same function."  A decode line for an operation is the AND of
+the constant literals of its signature — an efficient two-level
+implementation; parameter encodings reverse into plain wiring (handled by
+``Concat`` cells in the datapath).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..encoding.signature import Signature
+
+
+@dataclass(frozen=True)
+class DecodeLine:
+    """The sum-free product term that activates one operation."""
+
+    name: str
+    literals: Tuple[Tuple[int, int], ...]  # (word bit, required value)
+
+    @property
+    def gate_count(self) -> int:
+        """Two-level implementation cost: inverters + AND-tree gates."""
+        inverters = sum(1 for _, value in self.literals if value == 0)
+        and_gates = max(len(self.literals) - 1, 0)
+        return inverters + and_gates
+
+    def equation(self, signal: str = "I") -> str:
+        """Textual equation in the paper's style, e.g. ``I9'.I8'.I6.I5``."""
+        if not self.literals:
+            return "1"
+        terms = [
+            f"{signal}{bit}" + ("" if value else "'")
+            for bit, value in sorted(self.literals, reverse=True)
+        ]
+        return ".".join(terms)
+
+    def matches(self, word: int) -> bool:
+        return all(((word >> bit) & 1) == value for bit, value in self.literals)
+
+
+def decode_line(name: str, signature: Signature) -> DecodeLine:
+    """Derive the decode line from an operation/option signature."""
+    literals = []
+    for position, symbol in enumerate(signature.symbols):
+        if symbol in (0, 1):
+            literals.append((position, symbol))
+    return DecodeLine(name, tuple(literals))
+
+
+def decode_lines_for(table, desc) -> List[DecodeLine]:
+    """All operation decode lines of a description (reporting helper)."""
+    lines = []
+    for fld, op in desc.operations():
+        signature = table.operation(fld.name, op.name)
+        lines.append(decode_line(f"{fld.name}.{op.name}", signature))
+    return lines

@@ -1,0 +1,98 @@
+"""Power estimation (paper §1: physical costs include power consumption).
+
+A switched-capacitance model over the synthesized netlist:
+
+* every functional-unit instance dissipates dynamic energy proportional to
+  its area whenever one of its sites is active — activity comes from the
+  ILS utilization statistics (operation execution frequencies), which is
+  exactly the evaluation loop of Figure 1: simulate, then cost the
+  architecture with realistic activity factors;
+* storage and steering switch with a default activity;
+* everything leaks/clocks in proportion to area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..gensim.stats import SimulationStats
+from ..isdl import ast
+from . import techlib
+from .area import AreaReport, estimate_area
+from .netlist import Netlist, Unit
+
+#: fallback activity factor when no simulation statistics are supplied
+DEFAULT_ACTIVITY = 0.25
+
+
+@dataclass
+class PowerReport:
+    """Estimated power at a given clock frequency."""
+
+    dynamic_mw: float
+    static_mw: float
+    frequency_mhz: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.static_mw
+
+
+def operation_activity(desc: ast.Description,
+                       stats: Optional[SimulationStats]) -> Dict[tuple, float]:
+    """Per-operation activity factors from a simulation run."""
+    activities: Dict[tuple, float] = {}
+    if stats is None or stats.instructions == 0:
+        for fld, op in desc.operations():
+            activities[(fld.name, op.name)] = DEFAULT_ACTIVITY
+        return activities
+    for fld, op in desc.operations():
+        count = stats.op_counts.get((fld.name, op.name), 0)
+        activities[(fld.name, op.name)] = count / stats.instructions
+    return activities
+
+
+def estimate_power(
+    desc: ast.Description,
+    netlist: Netlist,
+    frequency_mhz: float,
+    stats: Optional[SimulationStats] = None,
+    area: Optional[AreaReport] = None,
+) -> PowerReport:
+    """Estimate dynamic + static power at *frequency_mhz*."""
+    area = area or estimate_area(desc, netlist)
+    activities = operation_activity(desc, stats)
+    energy_pj = 0.0  # per cycle
+    for sites in netlist.unit_instances().values():
+        first = sites[0]
+        if first.unit_class in ("glue", "wire"):
+            continue
+        model = techlib.UNIT_MODELS.get(first.unit_class)
+        if model is None:
+            continue
+        width = max(site.width for site in sites)
+        instance_area = model.area(width)
+        activity = 0.0
+        for site in sites:
+            owner = _owner_of(site)
+            activity += activities.get(owner, DEFAULT_ACTIVITY)
+        activity = min(activity, 1.0)
+        energy_pj += (
+            instance_area * activity * techlib.DYNAMIC_ENERGY_PER_CELL_PJ
+        )
+    # Storage, decode and steering switch with default activity.
+    background = (area.storage + area.decode + area.steering
+                  + area.pipeline_registers)
+    energy_pj += background * DEFAULT_ACTIVITY * techlib.DYNAMIC_ENERGY_PER_CELL_PJ
+    # pJ/cycle × MHz = µW; divide by 1000 for mW.
+    dynamic_mw = energy_pj * frequency_mhz / 1000.0
+    static_mw = area.total * techlib.STATIC_POWER_PER_CELL_UW / 1000.0
+    return PowerReport(dynamic_mw, static_mw, frequency_mhz)
+
+
+def _owner_of(site: Unit) -> tuple:
+    """Recover (field, op) from the site's node key."""
+    owner_text = site.node_key.split(":", 1)[0]
+    parts = owner_text.split(".")
+    return tuple(parts[:2])

@@ -1,0 +1,185 @@
+"""Technology-library models (substitute for Synopsys + LSI 10K).
+
+The paper maps the generated Verilog through the Synopsys toolkit onto the
+LSI Logic 10K gate-array library and reports die size in *grid cells* and
+cycle length in nanoseconds.  Without the proprietary flow we provide a
+calibrated model: one grid cell ≈ one gate equivalent, with mid-90s
+gate-array magnitudes (a 2-input NAND ≈ 1 cell ≈ 1 ns loaded delay).  The
+absolute numbers are approximations; what matters for architecture
+exploration — and for reproducing Table 2's *shape* — is that the model
+ranks datapaths correctly and responds to sharing, width and ISA changes
+monotonically.
+
+All ``area(width)`` results are in grid cells; ``delay(width)`` in ns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+
+def _log2(value: int) -> float:
+    return math.log2(max(value, 2))
+
+
+@dataclass(frozen=True)
+class UnitModel:
+    """Area/delay model for one functional-unit class."""
+
+    name: str
+    area: Callable[[int], float]
+    delay: Callable[[int], float]
+
+
+#: Functional-unit classes (width = datapath width in bits).
+UNIT_MODELS: Dict[str, UnitModel] = {
+    "adder": UnitModel(
+        "adder",
+        area=lambda w: 9.0 * w,
+        delay=lambda w: 1.8 + 0.9 * _log2(w),  # carry-lookahead
+    ),
+    "multiplier": UnitModel(
+        "multiplier",
+        area=lambda w: 2.4 * w * w,
+        delay=lambda w: 4.0 + 1.6 * _log2(w),  # array multiplier
+    ),
+    "divider": UnitModel(
+        "divider",
+        area=lambda w: 3.2 * w * w,
+        delay=lambda w: 8.0 + 3.0 * _log2(w),
+    ),
+    "logic": UnitModel(
+        "logic",
+        area=lambda w: 2.2 * w,
+        delay=lambda w: 0.7,
+    ),
+    "shifter": UnitModel(
+        "shifter",
+        area=lambda w: 3.2 * w * _log2(w),  # barrel shifter
+        delay=lambda w: 0.8 + 0.5 * _log2(w),
+    ),
+    "comparator": UnitModel(
+        "comparator",
+        area=lambda w: 5.0 * w,
+        delay=lambda w: 1.4 + 0.7 * _log2(w),
+    ),
+    "mux": UnitModel(
+        "mux",
+        area=lambda w: 2.8 * w,
+        delay=lambda w: 0.6,
+    ),
+    "bus": UnitModel(
+        "bus",
+        area=lambda w: 1.0 * w,  # drivers
+        delay=lambda w: 0.4,
+    ),
+    # IEEE-754 single-precision macro cells (black-box datapath blocks).
+    "fp_adder": UnitModel(
+        "fp_adder", area=lambda w: 6200.0, delay=lambda w: 16.0
+    ),
+    "fp_multiplier": UnitModel(
+        "fp_multiplier", area=lambda w: 11800.0, delay=lambda w: 22.0
+    ),
+    "fp_divider": UnitModel(
+        "fp_divider", area=lambda w: 16500.0, delay=lambda w: 38.0
+    ),
+    "fp_comparator": UnitModel(
+        "fp_comparator", area=lambda w: 900.0, delay=lambda w: 6.0
+    ),
+    "fp_converter": UnitModel(
+        "fp_converter", area=lambda w: 2600.0, delay=lambda w: 10.0
+    ),
+    "wire": UnitModel("wire", area=lambda w: 0.0, delay=lambda w: 0.0),
+}
+
+#: Per-operation glue costs (1-bit control gates, inverters, sign tweaks).
+GLUE_AREA: Dict[str, Callable[[int], float]] = {
+    "&&": lambda w: 1.0,
+    "||": lambda w: 1.0,
+    "lnot": lambda w: 0.7,
+    "not": lambda w: 0.7 * w,
+    "sext": lambda w: 0.0,  # wiring
+    "zext": lambda w: 0.0,
+    "bit": lambda w: 0.0,
+    "slice": lambda w: 0.0,
+    "fneg": lambda w: 0.7,  # one XOR on the sign bit
+    "fabs": lambda w: 0.7,
+    "bus": lambda w: 1.0 * w,
+}
+
+GLUE_DELAY: Dict[str, float] = {
+    "&&": 0.5,
+    "||": 0.5,
+    "lnot": 0.35,
+    "not": 0.35,
+    "sext": 0.0,
+    "zext": 0.0,
+    "bit": 0.0,
+    "slice": 0.0,
+    "fneg": 0.35,
+    "fabs": 0.35,
+    "bus": 0.4,
+}
+
+# -- sequential elements and memories ---------------------------------------
+
+REGISTER_AREA_PER_BIT = 6.0  # D flip-flop with enable
+REGISTER_CLK_TO_Q = 1.2
+REGISTER_SETUP = 0.9
+CLOCK_MARGIN = 1.0  # skew + uncertainty added to the critical path
+
+MEMORY_AREA_PER_BIT = 1.4  # compiled SRAM macro
+MEMORY_AREA_OVERHEAD = 150.0  # sense amps, decoders
+MEMORY_EXTRA_PORT_PER_BIT = 0.6
+
+
+def memory_area(width: int, depth: int, read_ports: int,
+                write_ports: int) -> float:
+    """Area of a compiled memory macro with the given port counts."""
+    bits = width * depth
+    extra_ports = max(read_ports + write_ports - 2, 0)
+    return (
+        MEMORY_AREA_OVERHEAD
+        + bits * MEMORY_AREA_PER_BIT
+        + bits * MEMORY_EXTRA_PORT_PER_BIT * extra_ports
+    )
+
+
+def memory_read_delay(depth: int) -> float:
+    return 2.5 + 0.5 * _log2(max(depth, 2))
+
+
+def register_file_area(width: int, depth: int, read_ports: int,
+                       write_ports: int) -> float:
+    """Flip-flop register file with mux read ports and decoded writes."""
+    storage = REGISTER_AREA_PER_BIT * width * depth
+    # Each read port is a depth-way mux tree per bit.
+    read_mux = read_ports * 2.8 * width * max(depth - 1, 1)
+    # Each write port needs a depth-way address decoder + enables.
+    write_dec = write_ports * (1.0 * depth * _log2(depth) + 0.5 * depth)
+    return storage + read_mux + write_dec
+
+
+def register_file_read_delay(depth: int) -> float:
+    return REGISTER_CLK_TO_Q + 0.6 * math.ceil(_log2(max(depth, 2)))
+
+
+#: 2:1-mux overhead per merged site and input, for shared functional units.
+SHARING_MUX_AREA_PER_BIT = 2.8
+SHARING_MUX_DELAY_PER_LEVEL = 0.6
+
+#: decode gates
+DECODE_GATE_AREA = 1.0
+DECODE_DELAY_PER_LEVEL = 0.5
+
+#: routing/wiring overhead applied to the summed cell area
+WIRING_OVERHEAD = 1.15
+
+# -- power model -------------------------------------------------------------
+
+#: dynamic energy per grid cell per activation, in pJ (V = 3.3 V era)
+DYNAMIC_ENERGY_PER_CELL_PJ = 0.45
+#: static (leakage + clock tree) power per grid cell, in µW
+STATIC_POWER_PER_CELL_UW = 0.02

@@ -1,0 +1,489 @@
+"""AST for ISDL machine descriptions.
+
+An ISDL description has six sections (paper, section 2.1): *format*, *global
+definitions*, *storage*, *instruction set*, *constraints*, and *optional
+architectural information*.  The classes here mirror that structure:
+
+* :class:`TokenDef` / :class:`NonTerminal` — global definitions,
+* :class:`Storage` / :class:`Alias` — the processor state,
+* :class:`Field` / :class:`Operation` — the instruction set, with the six
+  parts of an operation definition (syntax, bitfield assignments, action,
+  side effects, costs, timing),
+* :class:`Constraint` — valid operation combinations,
+* :class:`Description` — the whole description.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import IsdlSemanticError, SourceLocation
+from . import rtl
+
+# ---------------------------------------------------------------------------
+# Global definitions: tokens and non-terminals
+# ---------------------------------------------------------------------------
+
+
+class TokenKind(enum.Enum):
+    """The syntactic categories a token definition can take."""
+
+    PREFIXED = "prefixed"  # e.g. register names R0..R15; value = index
+    IMMEDIATE = "immediate"  # an integer literal of a given width/signedness
+    ENUM = "enum"  # a finite set of symbols, each with a value
+
+
+@dataclass(frozen=True)
+class TokenDef:
+    """A token: a syntactic element of the assembly language (paper 2.1.1).
+
+    Tokens carry a *return value* identifying the matched alternative — the
+    register index for prefixed tokens, the literal value for immediates, the
+    symbol's value for enums.
+    """
+
+    name: str
+    kind: TokenKind
+    prefix: str = ""  # PREFIXED: the name stem ("R" for R0..R15)
+    lo: int = 0  # PREFIXED: first index
+    hi: int = 0  # PREFIXED: last index
+    signed: bool = False  # IMMEDIATE: two's-complement?
+    width: int = 0  # IMMEDIATE: bit width of the return value
+    symbols: Tuple[Tuple[str, int], ...] = ()  # ENUM: (symbol, value) pairs
+    location: Optional[SourceLocation] = None
+
+    @property
+    def value_width(self) -> int:
+        """Number of bits needed to encode this token's return value."""
+        if self.kind is TokenKind.IMMEDIATE:
+            return self.width
+        if self.kind is TokenKind.PREFIXED:
+            span = max(self.hi, 1)
+            return max(span.bit_length(), 1)
+        max_value = max((v for _, v in self.symbols), default=0)
+        return max(max_value.bit_length(), 1)
+
+    def encode_value(self, value: int) -> int:
+        """Return the unsigned bit pattern for a (possibly signed) value."""
+        if self.kind is TokenKind.IMMEDIATE and self.signed:
+            return value & ((1 << self.width) - 1)
+        return value
+
+    def decode_value(self, bits: int) -> int:
+        """Invert :meth:`encode_value`."""
+        if self.kind is TokenKind.IMMEDIATE and self.signed:
+            if bits & (1 << (self.width - 1)):
+                return bits - (1 << self.width)
+        return bits
+
+    def valid_values(self) -> range:
+        """The range of legal (decoded) return values."""
+        if self.kind is TokenKind.PREFIXED:
+            return range(self.lo, self.hi + 1)
+        if self.kind is TokenKind.IMMEDIATE:
+            if self.signed:
+                half = 1 << (self.width - 1)
+                return range(-half, half)
+            return range(0, 1 << self.width)
+        values = [v for _, v in self.symbols]
+        return range(min(values), max(values) + 1)
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageKind(enum.Enum):
+    """The storage types recognized by ISDL (paper 2.1.2)."""
+
+    INSTRUCTION_MEMORY = "instruction_memory"
+    DATA_MEMORY = "data_memory"
+    REGISTER_FILE = "register_file"
+    REGISTER = "register"
+    CONTROL_REGISTER = "control_register"
+    MEMORY_MAPPED_IO = "memory_mapped_io"
+    PROGRAM_COUNTER = "program_counter"
+    STACK = "stack"
+
+
+#: Storage kinds that have a depth (are addressed by an index).
+ADDRESSED_KINDS = frozenset(
+    {
+        StorageKind.INSTRUCTION_MEMORY,
+        StorageKind.DATA_MEMORY,
+        StorageKind.REGISTER_FILE,
+        StorageKind.MEMORY_MAPPED_IO,
+        StorageKind.STACK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Storage:
+    """A visible storage element; sizes are width in bits (+ depth)."""
+
+    name: str
+    kind: StorageKind
+    width: int
+    depth: Optional[int] = None
+    location: Optional[SourceLocation] = None
+
+    @property
+    def addressed(self) -> bool:
+        return self.kind in ADDRESSED_KINDS
+
+
+@dataclass(frozen=True)
+class Alias:
+    """An alternative name for an arbitrary sub-part of the state.
+
+    ``C = CCR[0]`` gives bit 0 of CCR the name C; ``LO = ACC[15:0]`` names a
+    bit range; an alias of a register-file element (``SP = RF[7]``) is also
+    allowed.
+    """
+
+    name: str
+    storage: str
+    index: Optional[int] = None
+    hi: Optional[int] = None
+    lo: Optional[int] = None
+    location: Optional[SourceLocation] = None
+
+
+# ---------------------------------------------------------------------------
+# Encodings (bitfield assignments)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EncConst:
+    """A constant right-hand side of a bitfield assignment."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class EncParam:
+    """A parameter right-hand side: the parameter's return-value bits.
+
+    ``hi``/``lo`` select a sub-range of the return value; ``None`` means the
+    whole value.  Keeping the right-hand side this simple is what makes the
+    assembly function symbolically reversible (paper Axiom 1 and 3.3.2).
+    """
+
+    name: str
+    hi: Optional[int] = None
+    lo: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BitAssign:
+    """``bits[hi:lo] = rhs`` — sets instruction-word (or NT return) bits."""
+
+    hi: int
+    lo: int
+    rhs: object  # EncConst | EncParam
+    location: Optional[SourceLocation] = None
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+# ---------------------------------------------------------------------------
+# Operations, non-terminals, fields
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    """A formal parameter of an operation or non-terminal option."""
+
+    name: str
+    type_name: str  # a token or non-terminal name
+
+
+@dataclass(frozen=True)
+class Costs:
+    """Operation costs (paper 2.1.3, part 5)."""
+
+    cycle: int = 1  # cycles taken in the absence of stalls
+    stall: int = 0  # extra cycles during a pipeline stall
+    size: int = 1  # instruction words occupied
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Operation timing (paper 2.1.3, part 6)."""
+
+    latency: int = 1  # cycles until results become available
+    usage: int = 1  # cycles until the functional unit is free again
+
+
+@dataclass(frozen=True)
+class NtOption:
+    """One option of a non-terminal — same six parts as an operation.
+
+    Options are unnamed in ISDL proper; we give each a label for reporting.
+    The ``encoding`` assigns the non-terminal's *return value* bits.
+    """
+
+    label: str
+    params: Tuple[Param, ...]
+    syntax: Optional[str]  # template with %param placeholders; None = default
+    encoding: Tuple[BitAssign, ...]
+    action: Tuple[rtl.Stmt, ...]
+    side_effect: Tuple[rtl.Stmt, ...] = ()
+    costs: Costs = Costs(cycle=0)
+    timing: Timing = Timing()
+    location: Optional[SourceLocation] = None
+
+    def storage_target(self) -> Optional[rtl.StorageLV]:
+        """If this option is *transparent* (action is ``$$ <- location``),
+        return that location so the option can be used as a destination."""
+        if len(self.action) != 1:
+            return None
+        stmt = self.action[0]
+        if not isinstance(stmt, rtl.Assign):
+            return None
+        if not isinstance(stmt.dest, rtl.NtLV):
+            return None
+        expr = stmt.expr
+        if isinstance(expr, rtl.StorageRead):
+            return rtl.StorageLV(expr.storage, expr.index, expr.hi, expr.lo)
+        return None
+
+
+@dataclass(frozen=True)
+class NonTerminal:
+    """A non-terminal abstracting a common pattern (e.g. addressing modes).
+
+    The return value behaves like a binary instruction of fixed width
+    ``width`` (the paper allows varying width; a fixed per-NT width keeps
+    signatures rectangular without losing generality — pad short options
+    with constants).
+    """
+
+    name: str
+    width: int
+    options: Tuple[NtOption, ...]
+    location: Optional[SourceLocation] = None
+
+    def option(self, label: str) -> NtOption:
+        for opt in self.options:
+            if opt.label == label:
+                return opt
+        raise KeyError(label)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An operation definition — the six parts of paper section 2.1.3."""
+
+    name: str
+    params: Tuple[Param, ...]
+    syntax: Optional[str]  # assembly template; None = "name p1, p2, ..."
+    encoding: Tuple[BitAssign, ...]
+    action: Tuple[rtl.Stmt, ...]
+    side_effect: Tuple[rtl.Stmt, ...] = ()
+    costs: Costs = Costs()
+    timing: Timing = Timing()
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Field:
+    """A field: the mutually-exclusive operations of one functional unit."""
+
+    name: str
+    operations: Tuple[Operation, ...]
+    location: Optional[SourceLocation] = None
+
+    def operation(self, name: str) -> Operation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(name)
+
+    @property
+    def operation_names(self) -> List[str]:
+        return [op.name for op in self.operations]
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CExpr:
+    """Base class for constraint expressions."""
+
+
+@dataclass(frozen=True)
+class COpRef(CExpr):
+    """References an operation: true when ``field.op`` is in the instruction."""
+
+    field: str
+    op: str
+
+
+@dataclass(frozen=True)
+class CNot(CExpr):
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class CAnd(CExpr):
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class COr(CExpr):
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A condition every valid instruction must satisfy (paper 2.1.4).
+
+    The surface syntax ``forbid <expr>`` denotes the constraint ``~<expr>``;
+    ``require <expr>`` denotes ``<expr>`` directly.
+    """
+
+    expr: CExpr
+    text: str = ""
+    location: Optional[SourceLocation] = None
+
+
+def evaluate_constraint(expr: CExpr, selected: Dict[str, str]) -> bool:
+    """Evaluate a constraint expression against a field→operation choice."""
+    if isinstance(expr, COpRef):
+        return selected.get(expr.field) == expr.op
+    if isinstance(expr, CNot):
+        return not evaluate_constraint(expr.operand, selected)
+    if isinstance(expr, CAnd):
+        return evaluate_constraint(expr.left, selected) and evaluate_constraint(
+            expr.right, selected
+        )
+    if isinstance(expr, COr):
+        return evaluate_constraint(expr.left, selected) or evaluate_constraint(
+            expr.right, selected
+        )
+    raise TypeError(f"not a constraint expression: {expr!r}")
+
+
+def oprefs_in(expr: CExpr):
+    """Yield every :class:`COpRef` in a constraint expression."""
+    if isinstance(expr, COpRef):
+        yield expr
+    elif isinstance(expr, CNot):
+        yield from oprefs_in(expr.operand)
+    elif isinstance(expr, (CAnd, COr)):
+        yield from oprefs_in(expr.left)
+        yield from oprefs_in(expr.right)
+
+
+# ---------------------------------------------------------------------------
+# The description
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Description:
+    """A complete ISDL machine description."""
+
+    name: str
+    word_width: int
+    tokens: Dict[str, TokenDef] = field(default_factory=dict)
+    nonterminals: Dict[str, NonTerminal] = field(default_factory=dict)
+    storages: Dict[str, Storage] = field(default_factory=dict)
+    aliases: Dict[str, Alias] = field(default_factory=dict)
+    fields: List[Field] = field(default_factory=list)
+    constraints: List[Constraint] = field(default_factory=list)
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    # -- lookups ----------------------------------------------------------
+
+    def field_named(self, name: str) -> Field:
+        for fld in self.fields:
+            if fld.name == name:
+                return fld
+        raise KeyError(name)
+
+    def operations(self):
+        """Yield ``(field, operation)`` pairs over the whole instruction set."""
+        for fld in self.fields:
+            for op in fld.operations:
+                yield fld, op
+
+    def operation(self, field_name: str, op_name: str) -> Operation:
+        return self.field_named(field_name).operation(op_name)
+
+    def param_type(self, param: Param):
+        """Resolve a parameter's type to its TokenDef or NonTerminal."""
+        if param.type_name in self.tokens:
+            return self.tokens[param.type_name]
+        if param.type_name in self.nonterminals:
+            return self.nonterminals[param.type_name]
+        raise IsdlSemanticError(
+            f"unknown parameter type {param.type_name!r} for parameter"
+            f" {param.name!r}"
+        )
+
+    def resolve_alias(self, name: str) -> Optional[Alias]:
+        return self.aliases.get(name)
+
+    def storage_or_alias(self, name: str) -> Storage:
+        """Return the storage behind *name*, following one alias level."""
+        if name in self.storages:
+            return self.storages[name]
+        alias = self.aliases.get(name)
+        if alias is not None:
+            return self.storages[alias.storage]
+        raise KeyError(name)
+
+    def program_counter(self) -> Storage:
+        """Return the (unique) program-counter storage."""
+        for storage in self.storages.values():
+            if storage.kind is StorageKind.PROGRAM_COUNTER:
+                return storage
+        raise IsdlSemanticError(f"description {self.name!r} defines no program counter")
+
+    def instruction_memory(self) -> Storage:
+        """Return the (unique) instruction-memory storage."""
+        for storage in self.storages.values():
+            if storage.kind is StorageKind.INSTRUCTION_MEMORY:
+                return storage
+        raise IsdlSemanticError(
+            f"description {self.name!r} defines no instruction memory"
+        )
+
+    # -- instruction-level helpers ----------------------------------------
+
+    def instruction_valid(self, selected: Dict[str, str]) -> bool:
+        """True iff the field→operation choice satisfies every constraint."""
+        return all(
+            evaluate_constraint(c.expr, selected) for c in self.constraints
+        )
+
+    def violated_constraints(self, selected: Dict[str, str]) -> List[Constraint]:
+        """The constraints an instruction violates (empty = valid)."""
+        return [
+            c
+            for c in self.constraints
+            if not evaluate_constraint(c.expr, selected)
+        ]
+
+
+def default_syntax(name: str, params: Sequence[Param]) -> str:
+    """The default assembly syntax template for an operation or option."""
+    if not params:
+        return name
+    placeholders = ", ".join(f"%{p.name}" for p in params)
+    return f"{name} {placeholders}"

@@ -1,0 +1,52 @@
+"""The RTL intrinsic function set shared by GENSIM and HGEN.
+
+Each intrinsic has a fixed arity and a *unit class* used by the HGEN
+resource-sharing rules ("nodes performing different tasks cannot be shared";
+paper rule 2).  Floating-point intrinsics map to macro cells in the
+technology library rather than synthesized gate logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Metadata for one RTL intrinsic function."""
+
+    name: str
+    arity: int
+    unit_class: str  # functional-unit class for resource sharing
+    is_macro: bool = False  # True for technology-library macro cells
+
+
+_DEFS = [
+    # flag helpers: carry/borrow/overflow of a width-w add or subtract
+    Intrinsic("carry", 3, "adder"),
+    Intrinsic("carryc", 4, "adder"),  # carry with carry-in
+    Intrinsic("borrow", 3, "adder"),
+    Intrinsic("overflow", 3, "adder"),
+    # width manipulation — wiring only, no functional unit
+    Intrinsic("sext", 2, "wire"),
+    Intrinsic("zext", 2, "wire"),
+    Intrinsic("bit", 2, "wire"),
+    Intrinsic("slice", 3, "wire"),
+    # small integer helpers
+    Intrinsic("abs", 1, "adder"),
+    Intrinsic("min", 2, "comparator"),
+    Intrinsic("max", 2, "comparator"),
+    # IEEE-754 single-precision macro operations (SPAM datapath)
+    Intrinsic("fadd", 2, "fp_adder", is_macro=True),
+    Intrinsic("fsub", 2, "fp_adder", is_macro=True),
+    Intrinsic("fmul", 2, "fp_multiplier", is_macro=True),
+    Intrinsic("fdiv", 2, "fp_divider", is_macro=True),
+    Intrinsic("fneg", 1, "wire"),
+    Intrinsic("fabs", 1, "wire"),
+    Intrinsic("fcmp", 2, "fp_comparator", is_macro=True),
+    Intrinsic("itof", 2, "fp_converter", is_macro=True),
+    Intrinsic("ftoi", 2, "fp_converter", is_macro=True),
+]
+
+INTRINSICS: Dict[str, Intrinsic] = {d.name: d for d in _DEFS}

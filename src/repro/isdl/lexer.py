@@ -1,0 +1,180 @@
+"""Tokenizer for the ISDL concrete syntax.
+
+The lexer is deliberately simple: identifiers, integer literals (decimal,
+``0x`` hex, ``0b`` binary), double-quoted strings, and a fixed set of
+punctuation/operator lexemes.  Keywords are not reserved — the parser matches
+identifier *values* contextually, which keeps names like ``field`` usable as
+storage names.
+
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import IsdlSyntaxError, SourceLocation
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<",
+    ">>",
+    "<-",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "$$",
+    "..",
+    "<",
+    ">",
+    "=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ":",
+    ";",
+    ",",
+    ".",
+    "?",
+    "|",
+    "&",
+    "~",
+    "^",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "@",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is ID, INT, STRING, OP, or EOF."""
+
+    kind: str
+    value: object
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.location})"
+
+
+def tokenize(source: str, filename: str = "<isdl>") -> List[Token]:
+    """Tokenize *source*, returning a list ending in an EOF token."""
+    return list(iter_tokens(source, filename))
+
+
+def iter_tokens(source: str, filename: str = "<isdl>") -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(filename, line, col)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        start = loc()
+        if ch == '"':
+            text, length = _scan_string(source, i, start)
+            yield Token("STRING", text, source[i : i + length], start)
+            advance(length)
+            continue
+        if ch.isdigit():
+            value, length = _scan_int(source, i, start)
+            yield Token("INT", value, source[i : i + length], start)
+            advance(length)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            yield Token("ID", text, text, start)
+            advance(j - i)
+            continue
+        op = _match_operator(source, i)
+        if op is not None:
+            yield Token("OP", op, op, start)
+            advance(len(op))
+            continue
+        raise IsdlSyntaxError(f"unexpected character {ch!r}", start)
+    yield Token("EOF", None, "", loc())
+
+
+def _match_operator(source: str, i: int) -> Optional[str]:
+    for op in _OPERATORS:
+        if source.startswith(op, i):
+            return op
+    return None
+
+
+def _scan_string(source: str, i: int, start: SourceLocation):
+    j = i + 1
+    chars: List[str] = []
+    while j < len(source):
+        ch = source[j]
+        if ch == '"':
+            return "".join(chars), j - i + 1
+        if ch == "\n":
+            break
+        if ch == "\\" and j + 1 < len(source):
+            chars.append(source[j + 1])
+            j += 2
+            continue
+        chars.append(ch)
+        j += 1
+    raise IsdlSyntaxError("unterminated string literal", start)
+
+
+def _scan_int(source: str, i: int, start: SourceLocation):
+    n = len(source)
+    j = i
+    if source.startswith(("0x", "0X"), i):
+        j = i + 2
+        while j < n and (source[j] in "_" or source[j] in "0123456789abcdefABCDEF"):
+            j += 1
+        digits = source[i + 2 : j].replace("_", "")
+        if not digits:
+            raise IsdlSyntaxError("malformed hex literal", start)
+        return int(digits, 16), j - i
+    if source.startswith(("0b", "0B"), i):
+        j = i + 2
+        while j < n and source[j] in "01_":
+            j += 1
+        digits = source[i + 2 : j].replace("_", "")
+        if not digits:
+            raise IsdlSyntaxError("malformed binary literal", start)
+        return int(digits, 2), j - i
+    while j < n and (source[j].isdigit() or source[j] == "_"):
+        j += 1
+    return int(source[i:j].replace("_", "")), j - i

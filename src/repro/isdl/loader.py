@@ -1,0 +1,23 @@
+"""Convenience entry points for loading ISDL descriptions."""
+
+from __future__ import annotations
+
+import os
+
+from . import ast, parser, semantics
+
+
+def load_string(source: str, filename: str = "<isdl>",
+                validate: bool = True) -> ast.Description:
+    """Parse (and by default semantically check) an ISDL description."""
+    desc = parser.parse(source, filename)
+    if validate:
+        semantics.check(desc)
+    return desc
+
+
+def load_file(path: str, validate: bool = True) -> ast.Description:
+    """Load an ISDL description from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return load_string(source, filename=os.fspath(path), validate=validate)

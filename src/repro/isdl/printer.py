@@ -1,0 +1,182 @@
+"""Pretty-printer: render a Description back to ISDL surface syntax.
+
+The exploration loop (:mod:`repro.explore`) transforms descriptions as ASTs;
+printing them back to text keeps the methodology's single-description
+property — every tool consumes the same ISDL text (paper section 4.1).
+The printer round-trips: ``parse(print(parse(s)))`` equals ``parse(s)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast, rtl
+
+
+def print_description(desc: ast.Description) -> str:
+    """Render *desc* as ISDL text."""
+    out: List[str] = [f'processor "{desc.name}"', ""]
+    out += _format_section(desc)
+    out += _global_section(desc)
+    out += _storage_section(desc)
+    out += _instruction_section(desc)
+    out += _constraint_section(desc)
+    out += _optional_section(desc)
+    return "\n".join(out) + "\n"
+
+
+def _format_section(desc) -> List[str]:
+    return ["section format", f"    word {desc.word_width}", "end", ""]
+
+
+def _global_section(desc) -> List[str]:
+    out = ["section global_definitions"]
+    for token in desc.tokens.values():
+        out.append("    " + _token_text(token))
+    for nt in desc.nonterminals.values():
+        out += _nonterminal_text(nt)
+    out += ["end", ""]
+    return out
+
+
+def _token_text(token: ast.TokenDef) -> str:
+    if token.kind is ast.TokenKind.PREFIXED:
+        return (
+            f'token {token.name} prefix "{token.prefix}"'
+            f" range {token.lo} .. {token.hi}"
+        )
+    if token.kind is ast.TokenKind.IMMEDIATE:
+        sign = "signed" if token.signed else "unsigned"
+        return f"token {token.name} immediate {sign} width {token.width}"
+    body = ", ".join(f"{s} = {v}" for s, v in token.symbols)
+    return f"token {token.name} enum {{ {body} }}"
+
+
+def _nonterminal_text(nt: ast.NonTerminal) -> List[str]:
+    out = [f"    nonterminal {nt.name} width {nt.width}"]
+    for opt in nt.options:
+        out.append(f"        option {opt.label}({_params_text(opt.params)})")
+        out += _parts_text(opt, indent=3, default_cost=ast.Costs(cycle=0))
+    out.append("    end")
+    return out
+
+
+def _params_text(params) -> str:
+    return ", ".join(f"{p.name}: {p.type_name}" for p in params)
+
+
+def _parts_text(item, indent: int, default_cost: ast.Costs) -> List[str]:
+    pad = "    " * indent
+    out: List[str] = []
+    if item.syntax is not None:
+        out.append(f'{pad}syntax "{item.syntax}"')
+    out.append(pad + "encoding { " + _encoding_text(item.encoding) + " }")
+    if item.action:
+        out += _block_text("action", item.action, indent)
+    if item.side_effect:
+        out += _block_text("side_effect", item.side_effect, indent)
+    if item.costs != default_cost:
+        costs = item.costs
+        out.append(
+            f"{pad}cost cycle {costs.cycle} stall {costs.stall}"
+            f" size {costs.size}"
+        )
+    if item.timing != ast.Timing():
+        timing = item.timing
+        out.append(f"{pad}timing latency {timing.latency} usage {timing.usage}")
+    return out
+
+
+def _encoding_text(encoding) -> str:
+    parts = []
+    for assign in encoding:
+        if assign.hi == assign.lo:
+            lhs = f"bits[{assign.hi}]"
+        else:
+            lhs = f"bits[{assign.hi}:{assign.lo}]"
+        rhs = assign.rhs
+        if isinstance(rhs, ast.EncConst):
+            text = f"0b{rhs.value:0{assign.width}b}"
+        else:
+            text = rhs.name
+            if rhs.hi is not None:
+                if rhs.hi == rhs.lo:
+                    text += f"[{rhs.hi}]"
+                else:
+                    text += f"[{rhs.hi}:{rhs.lo}]"
+        parts.append(f"{lhs} = {text}")
+    return "; ".join(parts)
+
+
+def _block_text(keyword: str, stmts, indent: int) -> List[str]:
+    pad = "    " * indent
+    out = [f"{pad}{keyword} {{"]
+    for stmt in stmts:
+        out.append(rtl.format_stmt(stmt, indent + 1))
+    out.append(pad + "}")
+    return out
+
+
+def _storage_section(desc) -> List[str]:
+    out = ["section storage"]
+    for storage in desc.storages.values():
+        line = f"    {storage.kind.value} {storage.name} width {storage.width}"
+        if storage.depth is not None:
+            line += f" depth {storage.depth}"
+        out.append(line)
+    for alias in desc.aliases.values():
+        target = alias.storage
+        if alias.index is not None:
+            target += f"[{alias.index}]"
+        if alias.hi is not None:
+            lo = alias.lo if alias.lo is not None else alias.hi
+            target += f"[{alias.hi}]" if alias.hi == lo else f"[{alias.hi}:{lo}]"
+        out.append(f"    alias {alias.name} = {target}")
+    out += ["end", ""]
+    return out
+
+
+def _instruction_section(desc) -> List[str]:
+    out = ["section instruction_set"]
+    for fld in desc.fields:
+        out.append(f"    field {fld.name}")
+        for op in fld.operations:
+            out.append(
+                f"        operation {op.name}({_params_text(op.params)})"
+            )
+            out += _parts_text(op, indent=3, default_cost=ast.Costs())
+        out.append("    end")
+    out += ["end", ""]
+    return out
+
+
+def _constraint_section(desc) -> List[str]:
+    if not desc.constraints:
+        return []
+    out = ["section constraints"]
+    for constraint in desc.constraints:
+        out.append("    require " + _cexpr_text(constraint.expr))
+    out += ["end", ""]
+    return out
+
+
+def _cexpr_text(expr: ast.CExpr) -> str:
+    if isinstance(expr, ast.COpRef):
+        return f"{expr.field}.{expr.op}"
+    if isinstance(expr, ast.CNot):
+        return f"~({_cexpr_text(expr.operand)})"
+    if isinstance(expr, ast.CAnd):
+        return f"({_cexpr_text(expr.left)} & {_cexpr_text(expr.right)})"
+    if isinstance(expr, ast.COr):
+        return f"({_cexpr_text(expr.left)} | {_cexpr_text(expr.right)})"
+    raise TypeError(f"not a constraint expression: {expr!r}")
+
+
+def _optional_section(desc) -> List[str]:
+    if not desc.attributes:
+        return []
+    out = ["section optional"]
+    for key, value in desc.attributes.items():
+        out.append(f'    attribute {key} "{value}"')
+    out += ["end", ""]
+    return out

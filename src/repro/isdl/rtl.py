@@ -1,0 +1,325 @@
+"""AST for the RTL mini-language used in ISDL actions and side effects.
+
+ISDL describes the effect of every operation (and of every non-terminal
+option) as a set of RTL-type statements that transform the processor state
+(paper, section 2.1.3).  This module defines the expression and statement
+nodes those RTL blocks parse into.  The same AST is consumed by:
+
+* the GENSIM processing-core generator (``repro.gensim.core``), which
+  translates each block into an executable routine, and
+* the HGEN node extractor (``repro.hgen.nodes``), which decomposes each block
+  into hardware nodes for resource sharing.
+
+Values are modelled as Python integers.  Storage reads produce non-negative
+integers of the storage's width; ``sext`` produces (possibly negative) signed
+values; every write is masked to the destination width.  This gives bit-true
+behaviour without tracking widths on every intermediate node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from ..errors import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for RTL expressions."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """A reference to an operation/non-terminal parameter by name.
+
+    For a token parameter this evaluates to the token's return value (e.g.
+    the register index).  For a non-terminal parameter it evaluates to the
+    value computed by the matched option's action (the option's ``$$``).
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NtValue(Expr):
+    """``$$`` used as an expression inside a non-terminal option."""
+
+
+@dataclass(frozen=True)
+class StorageRead(Expr):
+    """A read of processor state: ``RF[i]``, ``ACC``, ``CCR[3:1]`` ...
+
+    ``index`` is present for addressed storage (register files, memories),
+    ``hi``/``lo`` select a bit range of the element when given.
+    """
+
+    storage: str
+    index: Optional[Expr] = None
+    hi: Optional[int] = None
+    lo: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operator.
+
+    ``op`` is one of ``+ - * / % & | ^ << >> == != < <= > >= && ||``.
+    Division and modulus truncate toward zero on signed values (matching the
+    behaviour of hardware divider blocks).
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operator: ``~`` (bitwise not), ``-`` (negate), ``!`` (lnot)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Cond(Expr):
+    """The ternary conditional ``c ? a : b``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic function call.
+
+    The intrinsic set (see ``repro.gensim.core.INTRINSICS``) covers flag
+    computation (``carry``, ``borrow``, ``overflow``), width manipulation
+    (``sext``, ``zext``, ``bit``, ``slice``), and the floating-point macro
+    operations of the SPAM datapath (``fadd`` .. ``ftoi``).
+    """
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+# ---------------------------------------------------------------------------
+# L-values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LValue:
+    """Base class for assignment destinations."""
+
+
+@dataclass(frozen=True)
+class StorageLV(LValue):
+    """A writable storage location, optionally indexed / bit-sliced."""
+
+    storage: str
+    index: Optional[Expr] = None
+    hi: Optional[int] = None
+    lo: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class NtLV(LValue):
+    """``$$`` as an assignment destination inside a non-terminal option."""
+
+
+@dataclass(frozen=True)
+class ParamLV(LValue):
+    """A non-terminal parameter used as a destination (addressing NT).
+
+    Writing through the parameter writes the storage location denoted by the
+    matched option, which must be *transparent*: its action is a single
+    ``$$ <- <storage location>`` statement.
+    """
+
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for RTL statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``dest <- expr``"""
+
+    dest: LValue
+    expr: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if cond { ... } else { ... }`` — the else branch may be empty."""
+
+    cond: Expr
+    then: Tuple[Stmt, ...] = field(default_factory=tuple)
+    orelse: Tuple[Stmt, ...] = field(default_factory=tuple)
+    location: Optional[SourceLocation] = None
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_exprs(node: Union[Expr, Stmt, LValue]):
+    """Yield every :class:`Expr` reachable from *node* (pre-order)."""
+    if isinstance(node, Expr):
+        yield node
+    for child in _children(node):
+        yield from walk_exprs(child)
+
+
+def _children(node):
+    if isinstance(node, (IntLit, ParamRef, NtValue)):
+        return ()
+    if isinstance(node, StorageRead):
+        return (node.index,) if node.index is not None else ()
+    if isinstance(node, BinOp):
+        return (node.left, node.right)
+    if isinstance(node, UnOp):
+        return (node.operand,)
+    if isinstance(node, Cond):
+        return (node.cond, node.then, node.other)
+    if isinstance(node, Call):
+        return node.args
+    if isinstance(node, StorageLV):
+        return (node.index,) if node.index is not None else ()
+    if isinstance(node, (NtLV, ParamLV)):
+        return ()
+    if isinstance(node, Assign):
+        return (node.dest, node.expr)
+    if isinstance(node, If):
+        return (node.cond,) + node.then + node.orelse
+    raise TypeError(f"not an RTL node: {node!r}")
+
+
+def walk_stmts(stmts):
+    """Yield every :class:`Stmt` in *stmts*, recursing into ``if`` bodies."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then)
+            yield from walk_stmts(stmt.orelse)
+
+
+def storages_read(stmts):
+    """Return the set of storage names read anywhere in *stmts*."""
+    names = set()
+    for stmt in walk_stmts(stmts):
+        roots = [stmt.expr] if isinstance(stmt, Assign) else [stmt.cond]
+        if isinstance(stmt, Assign) and isinstance(stmt.dest, StorageLV):
+            if stmt.dest.index is not None:
+                roots.append(stmt.dest.index)
+        for root in roots:
+            for expr in walk_exprs(root):
+                if isinstance(expr, StorageRead):
+                    names.add(expr.storage)
+    return names
+
+
+def storages_written(stmts):
+    """Return the set of storage names written anywhere in *stmts*."""
+    names = set()
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, Assign) and isinstance(stmt.dest, StorageLV):
+            names.add(stmt.dest.storage)
+    return names
+
+
+def params_used(stmts):
+    """Return the set of parameter names referenced anywhere in *stmts*."""
+    names = set()
+    for stmt in walk_stmts(stmts):
+        for expr in walk_exprs(stmt):
+            if isinstance(expr, ParamRef):
+                names.add(expr.name)
+        if isinstance(stmt, Assign) and isinstance(stmt.dest, ParamLV):
+            names.add(stmt.dest.name)
+    return names
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression back to ISDL RTL surface syntax."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, ParamRef):
+        return expr.name
+    if isinstance(expr, NtValue):
+        return "$$"
+    if isinstance(expr, StorageRead):
+        return _format_location(expr.storage, expr.index, expr.hi, expr.lo)
+    if isinstance(expr, BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        return f"({expr.op}{format_expr(expr.operand)})"
+    if isinstance(expr, Cond):
+        return (
+            f"({format_expr(expr.cond)} ? {format_expr(expr.then)}"
+            f" : {format_expr(expr.other)})"
+        )
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def format_lvalue(lvalue: LValue) -> str:
+    """Render an l-value back to ISDL RTL surface syntax."""
+    if isinstance(lvalue, StorageLV):
+        return _format_location(lvalue.storage, lvalue.index, lvalue.hi, lvalue.lo)
+    if isinstance(lvalue, NtLV):
+        return "$$"
+    if isinstance(lvalue, ParamLV):
+        return lvalue.name
+    raise TypeError(f"not an l-value: {lvalue!r}")
+
+
+def _format_location(storage, index, hi, lo):
+    text = storage
+    if index is not None:
+        text += f"[{format_expr(index)}]"
+    if hi is not None:
+        text += f"[{hi}]" if hi == lo else f"[{hi}:{lo}]"
+    return text
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement back to ISDL RTL surface syntax."""
+    pad = "    " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{format_lvalue(stmt.dest)} <- {format_expr(stmt.expr)};"
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {format_expr(stmt.cond)} {{"]
+        lines += [format_stmt(s, indent + 1) for s in stmt.then]
+        if stmt.orelse:
+            lines.append(f"{pad}}} else {{")
+            lines += [format_stmt(s, indent + 1) for s in stmt.orelse]
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    raise TypeError(f"not a statement: {stmt!r}")

@@ -1,0 +1,6 @@
+"""Netlist-level simulation of the HGEN hardware model (Table 1 baseline)."""
+
+from .checker import CosimResult, compare_state, cosimulate
+from .simulator import NetlistSimulator
+
+__all__ = ["CosimResult", "compare_state", "cosimulate", "NetlistSimulator"]

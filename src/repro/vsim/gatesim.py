@@ -1,0 +1,583 @@
+"""Gate-level simulation of the synthesized hardware model.
+
+The paper's Table 1 baseline simulates the *synthesizable Verilog* with
+Cadence Verilog-XL — after synthesis that model is a sea of gates, and the
+simulator pays for every one of them on every cycle.  This module
+bit-blasts the HGEN netlist into two-state gate primitives (the same
+decomposition the area model charges for: ripple/carry adders, XNOR-tree
+comparators, barrel shifters, per-bit muxes, decode AND-trees) and executes
+the flattened gate list each cycle.  Memories and floating-point units stay
+functional macro models, exactly as vendor RAM/FPU models do in a gate
+netlist.
+
+The gate model is bit-true against the word-level model (and hence against
+XSIM) for the RTL subset the example architectures use; unsupported
+operators (division, signed comparison of sign-extended values, wide
+multiplies) conservatively fall back to functional macro evaluation and are
+reported in :attr:`GateNetlist.macro_cells`.
+
+Widths: the word-level evaluator works on unbounded integers; gates work at
+each net's declared width in two's complement.  Sign-extended nets carry a
+``signed`` mark so widening extends the sign bit — arithmetic then matches
+the unbounded model wherever results are eventually masked to a storage
+width (which is everywhere, by construction of the write path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..encoding.bits import mask
+from ..errors import SimulationError
+from ..gensim.core import INTRINSIC_IMPLS, _BINOPS
+from ..isdl import ast
+from ..hgen.netlist import (
+    Concat,
+    Const,
+    Decode,
+    Net,
+    Netlist,
+    PriorityMux,
+    RegRead,
+    Sext,
+    Unit,
+)
+from .simulator import NetlistSimulator
+
+# gate opcodes (two-input unless noted)
+G_AND, G_OR, G_XOR, G_NOT, G_MUX, G_SET = range(6)
+
+
+@dataclass
+class _Sig:
+    """Bit signals of one net: indices into the simulator's bit array."""
+
+    bits: Tuple[int, ...]
+    signed: bool = False
+
+
+class GateNetlist:
+    """The flattened gate program for one processor netlist."""
+
+    def __init__(self, desc: ast.Description, netlist: Netlist):
+        self.desc = desc
+        self.netlist = netlist
+        #: flat gate list: (opcode, out, a, b) — b unused for NOT/SET
+        self.gates: List[Tuple[int, int, int, int]] = []
+        #: functional steps: (kind, cell, inputs, out_bits)
+        self.functional: List[Tuple] = []
+        #: gate-list position each functional step must run after
+        self.functional_positions: List[int] = []
+        self.macro_cells: List[str] = []
+        self._signals: Dict[int, _Sig] = {}
+        self._bit_count = 2  # bit 0 = constant 0, bit 1 = constant 1
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _new_bits(self, count: int) -> List[int]:
+        start = self._bit_count
+        self._bit_count += count
+        return list(range(start, start + count))
+
+    def _sig_of(self, net: Net) -> _Sig:
+        sig = self._signals.get(net.uid)
+        if sig is None:
+            raise SimulationError(
+                f"net {net.name!r} used before it was driven"
+            )
+        return sig
+
+    def _define(self, net: Net, sig: _Sig) -> None:
+        self._signals[net.uid] = sig
+
+    def _bit_at(self, sig: _Sig, position: int) -> int:
+        """Bit *position* of a signal, extending per signedness."""
+        if position < len(sig.bits):
+            return sig.bits[position]
+        if sig.signed and sig.bits:
+            return sig.bits[-1]
+        return 0  # constant-zero bit
+
+    def _gate(self, opcode: int, a: int, b: int = 0) -> int:
+        out = self._new_bits(1)[0]
+        self.gates.append((opcode, out, a, b))
+        return out
+
+    def _mux_bit(self, sel: int, if1: int, if0: int) -> int:
+        """out = sel ? if1 : if0 built from AND/OR/NOT gates."""
+        not_sel = self._gate(G_NOT, sel)
+        a = self._gate(G_AND, sel, if1)
+        b = self._gate(G_AND, not_sel, if0)
+        return self._gate(G_OR, a, b)
+
+    def _reduce(self, opcode: int, bits: Sequence[int], empty: int) -> int:
+        if not bits:
+            return empty
+        acc = bits[0]
+        for bit in bits[1:]:
+            acc = self._gate(opcode, acc, bit)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Cell expansion
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        for cell in self.netlist.cells:
+            if cell.out is None:
+                continue
+            handler = getattr(self, f"_blast_{type(cell).__name__.lower()}")
+            handler(cell)
+
+    def _blast_const(self, cell: Const) -> None:
+        width = cell.out.width
+        bits = tuple(
+            1 if (cell.value >> i) & 1 else 0 for i in range(width)
+        )
+        self._define(cell.out, _Sig(bits))
+
+    def _blast_concat(self, cell: Concat) -> None:
+        width = cell.out.width
+        bits = [0] * width
+        for src, hi, lo, dst_lo in cell.parts:
+            sig = self._sig_of(src)
+            for k in range(hi - lo + 1):
+                if dst_lo + k < width:
+                    bits[dst_lo + k] = self._bit_at(sig, lo + k)
+        self._define(cell.out, _Sig(tuple(bits)))
+
+    def _blast_sext(self, cell: Sext) -> None:
+        sig = self._sig_of(cell.src)
+        bits = tuple(
+            self._bit_at(sig, i) for i in range(cell.from_width)
+        )
+        self._define(cell.out, _Sig(bits, signed=True))
+
+    def _blast_decode(self, cell: Decode) -> None:
+        word = self._sig_of(cell.word)
+        literals = []
+        for bit, value in cell.literals:
+            signal = self._bit_at(word, bit)
+            if value == 0:
+                signal = self._gate(G_NOT, signal)
+            literals.append(signal)
+        if cell.base is not None:
+            literals.append(self._bit_at(self._sig_of(cell.base), 0))
+        out = self._reduce(G_AND, literals, empty=1)
+        self._define(cell.out, _Sig((out,)))
+
+    def _blast_prioritymux(self, cell: PriorityMux) -> None:
+        width = cell.out.width
+        if cell.default is not None:
+            current = [
+                self._bit_at(self._sig_of(cell.default), i)
+                for i in range(width)
+            ]
+        else:
+            current = [0] * width
+        for enable, value in reversed(cell.cases):
+            sel = self._bit_at(self._sig_of(enable), 0)
+            value_sig = self._sig_of(value)
+            current = [
+                self._mux_bit(sel, self._bit_at(value_sig, i), current[i])
+                for i in range(width)
+            ]
+        self._define(cell.out, _Sig(tuple(current)))
+
+    def _blast_regread(self, cell: RegRead) -> None:
+        # Memories/register files are functional macro models.
+        out_bits = self._new_bits(cell.out.width)
+        self._define(cell.out, _Sig(tuple(out_bits)))
+        index_sig = (
+            self._sig_of(cell.index) if cell.index is not None else None
+        )
+        self.functional_positions.append(len(self.gates))
+        self.functional.append(("read", cell, index_sig, out_bits))
+
+    # -- units ---------------------------------------------------------
+
+    def _blast_unit(self, cell: Unit) -> None:
+        op = cell.op
+        args = [self._sig_of(net) for net in cell.args]
+        width = max(cell.out.width, 1)
+        builder = _GATE_BUILDERS.get(op)
+        if builder is None or self._needs_fallback(op, args):
+            self._functional_unit(cell, args)
+            return
+        bits, signed = builder(self, args, width)
+        self._define(cell.out, _Sig(tuple(bits), signed))
+
+    def _needs_fallback(self, op: str, args: List[_Sig]) -> bool:
+        # Signed magnitude comparison of sign-extended inputs needs a
+        # signed comparator; fall back to the functional model.
+        if op in ("<", "<=", ">", ">=", "min", "max", "abs"):
+            return any(sig.signed for sig in args)
+        return False
+
+    def _functional_unit(self, cell: Unit, args: List[_Sig]) -> None:
+        self.macro_cells.append(f"{cell.unit_class}:{cell.op}")
+        out_bits = self._new_bits(cell.out.width)
+        self._define(
+            cell.out,
+            _Sig(tuple(out_bits), signed=any(a.signed for a in args)),
+        )
+        self.functional_positions.append(len(self.gates))
+        self.functional.append(("unit", cell, args, out_bits))
+
+    # -- gate builders for each operator --------------------------------
+
+    def _adder_bits(self, a: _Sig, b: _Sig, width: int,
+                    carry_in: int = 0, invert_b: bool = False):
+        """Ripple-carry adder; returns (sum bits, carry-out)."""
+        carry = carry_in
+        out = []
+        for i in range(width):
+            bit_a = self._bit_at(a, i)
+            bit_b = self._bit_at(b, i)
+            if invert_b:
+                bit_b = self._gate(G_NOT, bit_b)
+            ab = self._gate(G_XOR, bit_a, bit_b)
+            out.append(self._gate(G_XOR, ab, carry))
+            gen = self._gate(G_AND, bit_a, bit_b)
+            prop = self._gate(G_AND, ab, carry)
+            carry = self._gate(G_OR, gen, prop)
+        return out, carry
+
+    def _equal_bit(self, a: _Sig, b: _Sig, width: int) -> int:
+        xors = [
+            self._gate(
+                G_XOR, self._bit_at(a, i), self._bit_at(b, i)
+            )
+            for i in range(width)
+        ]
+        any_diff = self._reduce(G_OR, xors, empty=0)
+        return self._gate(G_NOT, any_diff)
+
+    def _shift_bits(self, a: _Sig, amount: _Sig, width: int,
+                    left: bool) -> List[int]:
+        """Barrel shifter; amounts >= width produce zero."""
+        import math
+
+        stages = max(int(math.ceil(math.log2(max(width, 2)))), 1)
+        current = [self._bit_at(a, i) for i in range(width)]
+        for stage in range(stages):
+            shift = 1 << stage
+            sel = self._bit_at(amount, stage)
+            moved = []
+            for i in range(width):
+                src = i - shift if left else i + shift
+                in_range = 0 <= src < width
+                shifted_bit = current[src] if in_range else 0
+                moved.append(self._mux_bit(sel, shifted_bit, current[i]))
+            current = moved
+        # any amount bit beyond the stages zeroes the result
+        high = [
+            self._bit_at(amount, i)
+            for i in range(stages, len(amount.bits))
+        ]
+        if high:
+            overflow = self._reduce(G_OR, high, empty=0)
+            keep = self._gate(G_NOT, overflow)
+            current = [self._gate(G_AND, bit, keep) for bit in current]
+        return current
+
+
+def _build_add(gn: GateNetlist, args, width):
+    bits, _ = gn._adder_bits(args[0], args[1], width)
+    return bits, False
+
+
+def _build_sub(gn: GateNetlist, args, width):
+    bits, _ = gn._adder_bits(args[0], args[1], width, carry_in=1,
+                             invert_b=True)
+    return bits, False
+
+
+def _build_neg(gn: GateNetlist, args, width):
+    zero = _Sig(())
+    bits, _ = gn._adder_bits(zero, args[0], width, carry_in=1,
+                             invert_b=True)
+    return bits, False
+
+
+def _build_bitwise(opcode):
+    def build(gn: GateNetlist, args, width):
+        return [
+            gn._gate(
+                opcode, gn._bit_at(args[0], i), gn._bit_at(args[1], i)
+            )
+            for i in range(width)
+        ], False
+
+    return build
+
+
+def _build_not(gn: GateNetlist, args, width):
+    return [
+        gn._gate(G_NOT, gn._bit_at(args[0], i)) for i in range(width)
+    ], False
+
+
+def _build_eq(gn: GateNetlist, args, width):
+    span = max(len(args[0].bits), len(args[1].bits), 1)
+    return [gn._equal_bit(args[0], args[1], span)], False
+
+
+def _build_ne(gn: GateNetlist, args, width):
+    span = max(len(args[0].bits), len(args[1].bits), 1)
+    return [gn._gate(G_NOT, gn._equal_bit(args[0], args[1], span))], False
+
+
+def _build_ult(gn: GateNetlist, args, width):
+    span = max(len(args[0].bits), len(args[1].bits), 1)
+    _, carry = gn._adder_bits(args[0], args[1], span, carry_in=1,
+                              invert_b=True)
+    return [gn._gate(G_NOT, carry)], False  # borrow = !carry
+
+
+def _build_ule(gn: GateNetlist, args, width):
+    lt = _build_ult(gn, args, width)[0][0]
+    eq = _build_eq(gn, args, width)[0][0]
+    return [gn._gate(G_OR, lt, eq)], False
+
+
+def _build_ugt(gn: GateNetlist, args, width):
+    le = _build_ule(gn, args, width)[0][0]
+    return [gn._gate(G_NOT, le)], False
+
+
+def _build_uge(gn: GateNetlist, args, width):
+    lt = _build_ult(gn, args, width)[0][0]
+    return [gn._gate(G_NOT, lt)], False
+
+
+def _build_shl(gn: GateNetlist, args, width):
+    return gn._shift_bits(args[0], args[1], width, left=True), False
+
+
+def _build_shr(gn: GateNetlist, args, width):
+    return gn._shift_bits(args[0], args[1], width, left=False), False
+
+
+def _build_logic_and(gn: GateNetlist, args, width):
+    a = gn._reduce(G_OR, args[0].bits, empty=0)
+    b = gn._reduce(G_OR, args[1].bits, empty=0)
+    return [gn._gate(G_AND, a, b)], False
+
+
+def _build_logic_or(gn: GateNetlist, args, width):
+    a = gn._reduce(G_OR, args[0].bits, empty=0)
+    b = gn._reduce(G_OR, args[1].bits, empty=0)
+    return [gn._gate(G_OR, a, b)], False
+
+
+def _build_lnot(gn: GateNetlist, args, width):
+    a = gn._reduce(G_OR, args[0].bits, empty=0)
+    return [gn._gate(G_NOT, a)], False
+
+
+def _build_mux(gn: GateNetlist, args, width):
+    sel = gn._reduce(G_OR, args[0].bits, empty=0)
+    return [
+        gn._mux_bit(
+            sel, gn._bit_at(args[1], i), gn._bit_at(args[2], i)
+        )
+        for i in range(width)
+    ], args[1].signed or args[2].signed
+
+
+def _build_bus(gn: GateNetlist, args, width):
+    return [gn._bit_at(args[0], i) for i in range(width)], args[0].signed
+
+
+# carry/carryc/borrow/overflow intrinsics take a constant width argument;
+# they occur once per flag-setting operation and are evaluated as
+# functional macro cells (the adder they imply is already charged by the
+# area model through their unit class).
+
+_GATE_BUILDERS = {
+    "+": _build_add,
+    "-": _build_sub,
+    "neg": _build_neg,
+    "&": _build_bitwise(G_AND),
+    "|": _build_bitwise(G_OR),
+    "^": _build_bitwise(G_XOR),
+    "not": _build_not,
+    "==": _build_eq,
+    "!=": _build_ne,
+    "<": _build_ult,
+    "<=": _build_ule,
+    ">": _build_ugt,
+    ">=": _build_uge,
+    "<<": _build_shl,
+    ">>": _build_shr,
+    "&&": _build_logic_and,
+    "||": _build_logic_or,
+    "lnot": _build_lnot,
+    "mux": _build_mux,
+    "bus": _build_bus,
+}
+
+
+class GateLevelSimulator(NetlistSimulator):
+    """Cycle-based two-state simulation of the bit-blasted netlist.
+
+    Inherits the storage model, write-back queue and PC sequencing from the
+    word-level :class:`NetlistSimulator`; only combinational evaluation is
+    replaced by the flat gate program.  Functional steps (memory reads,
+    macro cells) assemble their operands from bit signals and scatter their
+    results back.
+    """
+
+    def __init__(self, desc: ast.Description, netlist: Netlist):
+        super().__init__(desc, netlist)
+        self.gate_netlist = GateNetlist(desc, netlist)
+        self._bits = [0, 1] + [0] * (self.gate_netlist._bit_count - 2)
+        # Evaluation schedule: gates run in creation order, interleaved
+        # with the functional steps at the gate positions they were
+        # recorded at (cells are built in topological order, so every
+        # signal a step consumes is produced by an earlier span or step).
+        spans = []
+        cursor = 0
+        for position, step in zip(
+            self.gate_netlist.functional_positions,
+            self.gate_netlist.functional,
+        ):
+            spans.append((cursor, position, step))
+            cursor = position
+        spans.append((cursor, len(self.gate_netlist.gates), None))
+        self._spans = spans
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gate_netlist.gates)
+
+    def step(self) -> None:  # noqa: C901 - hot loop kept flat
+        bits = self._bits
+        gates = self.gate_netlist.gates
+        for start, end, step_entry in self._spans:
+            self._eval_gates(gates, bits, start, end)
+            if step_entry is not None:
+                self._eval_functional(step_entry, bits)
+        # writes, PC update, commits: reuse the word-level machinery by
+        # assembling the needed net values.
+        self._commit_cycle_from_bits(bits)
+
+    def _eval_gates(self, gates, bits, start, end) -> None:
+        for opcode, out, a, b in gates[start:end]:
+            if opcode == G_AND:
+                bits[out] = bits[a] & bits[b]
+            elif opcode == G_OR:
+                bits[out] = bits[a] | bits[b]
+            elif opcode == G_XOR:
+                bits[out] = bits[a] ^ bits[b]
+            else:  # G_NOT
+                bits[out] = 1 - bits[a]
+
+    def _eval_functional(self, entry, bits) -> None:
+        kind = entry[0]
+        if kind == "read":
+            _, cell, index_sig, out_bits = entry
+            if index_sig is None:
+                raw = self._read_storage(cell)
+            else:
+                index = self._assemble(index_sig, bits)
+                raw = self._read_indexed(cell, index)
+            for i, bit_index in enumerate(out_bits):
+                bits[bit_index] = (raw >> i) & 1
+        else:  # macro unit
+            _, cell, args, out_bits = entry
+            values = [self._assemble(sig, bits) for sig in args]
+            result = self._eval_unit_value(cell, values)
+            for i, bit_index in enumerate(out_bits):
+                bits[bit_index] = (result >> i) & 1
+
+    def _assemble(self, sig: _Sig, bits) -> int:
+        value = 0
+        for i, bit_index in enumerate(sig.bits):
+            if bits[bit_index]:
+                value |= 1 << i
+        if sig.signed and sig.bits and bits[sig.bits[-1]]:
+            value -= 1 << len(sig.bits)
+        return value
+
+    def _read_storage(self, cell: RegRead) -> int:
+        raw = self._scalars[cell.storage]
+        return self._slice_read(cell, raw)
+
+    def _read_indexed(self, cell: RegRead, index: int) -> int:
+        array = self._arrays[cell.storage]
+        raw = array[index % len(array)]
+        return self._slice_read(cell, raw)
+
+    @staticmethod
+    def _slice_read(cell: RegRead, raw: int) -> int:
+        if cell.hi is not None:
+            lo = cell.lo if cell.lo is not None else cell.hi
+            return (raw >> lo) & mask(cell.hi - lo + 1)
+        return raw
+
+    def _eval_unit_value(self, cell: Unit, values) -> int:
+        op = cell.op
+        if op in _BINOPS:
+            return _BINOPS[op](values[0], values[1])
+        if op == "neg":
+            return -values[0]
+        if op == "not":
+            return ~values[0]
+        if op == "lnot":
+            return int(not values[0])
+        if op == "mux":
+            return values[1] if values[0] else values[2]
+        if op == "bus":
+            return values[0]
+        impl = INTRINSIC_IMPLS.get(op)
+        if impl is None:
+            raise SimulationError(f"unknown unit operation {op!r}")
+        return impl(*values)
+
+    def _commit_cycle_from_bits(self, bits) -> None:
+        """Write-back using values assembled from the gate signals."""
+        gn = self.gate_netlist
+        next_cycle = self.cycle + 1
+        for write in self.netlist.writes:
+            enable_sig = gn._signals[write.enable.uid]
+            if not self._assemble(enable_sig, bits):
+                continue
+            index = None
+            if write.index is not None:
+                index = self._assemble(
+                    gn._signals[write.index.uid], bits
+                )
+            value = self._assemble(gn._signals[write.value.uid], bits)
+            self._pending.append(
+                (
+                    next_cycle + write.delay,
+                    write.phase,
+                    write.seq,
+                    write.storage,
+                    index,
+                    write.hi,
+                    write.lo,
+                    value,
+                )
+            )
+        size = 1
+        if self.netlist.size_net is not None:
+            size = self._assemble(
+                gn._signals[self.netlist.size_net.uid], bits
+            )
+        pc_storage = self.desc.storages[self._pc]
+        self._scalars[self._pc] = (
+            self._scalars[self._pc] + size
+        ) & mask(pc_storage.width)
+        due = [w for w in self._pending if w[0] <= next_cycle]
+        if due:
+            self._pending = [w for w in self._pending if w[0] > next_cycle]
+            for entry in sorted(due):
+                self._commit(entry)
+        self.cycle = next_cycle

@@ -1,0 +1,237 @@
+"""Netlist-level simulation of the HGEN hardware model.
+
+This is the reproduction's stand-in for simulating the synthesizable Verilog
+with Cadence Verilog-XL (paper Table 1): every cell of the structural
+netlist is evaluated every cycle, exactly the work an HDL simulator performs
+on the generated model.  The paper itself notes the duality (footnote 8:
+"the synthesizable Verilog model is itself a simulator").
+
+The cycle semantics mirror the XSIM scheduler: all cells evaluate against
+the pre-cycle state; the PC gets its default increment; then due writes
+commit in (delay, phase, program-order) order, so action results land before
+side effects and latency-*L* results stay invisible for ``L - 1`` further
+cycles.  On hazard-free programs (no stall cycles) the hardware model is
+therefore bit-identical to the ILS — which is what the co-simulation checker
+asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..encoding.bits import get_bits, mask, set_bits
+from ..errors import SimulationError
+from ..gensim.core import INTRINSIC_IMPLS, _BINOPS
+from ..isdl import ast
+from ..hgen.netlist import (
+    Concat,
+    Const,
+    Decode,
+    Netlist,
+    PriorityMux,
+    RegRead,
+    Sext,
+    Unit,
+)
+
+
+class NetlistSimulator:
+    """Cycle-based evaluation of a :class:`~repro.hgen.netlist.Netlist`."""
+
+    def __init__(self, desc: ast.Description, netlist: Netlist):
+        self.desc = desc
+        self.netlist = netlist
+        self.cycle = 0
+        self._values: List[int] = [0] * len(netlist.nets)
+        self._scalars: Dict[str, int] = {}
+        self._arrays: Dict[str, List[int]] = {}
+        for storage in desc.storages.values():
+            if storage.addressed:
+                self._arrays[storage.name] = [0] * storage.depth
+            else:
+                self._scalars[storage.name] = 0
+        # (due_cycle, phase, seq, storage, index, hi, lo, value)
+        self._pending: List[Tuple] = []
+        self._halt_flag = desc.attributes.get("halt_flag")
+        self._pc = desc.program_counter().name
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    def read(self, name: str, index: Optional[int] = None) -> int:
+        if name in self._arrays:
+            return self._arrays[name][index]
+        return self._scalars[name]
+
+    def write(self, name: str, value: int, index: Optional[int] = None) -> None:
+        storage = self.desc.storages[name]
+        value &= mask(storage.width)
+        if name in self._arrays:
+            self._arrays[name][index] = value
+        else:
+            self._scalars[name] = value
+
+    def load_words(self, words: Sequence[int], origin: int = 0) -> None:
+        im = self.desc.instruction_memory()
+        for offset, word in enumerate(words):
+            self.write(im.name, word, origin + offset)
+        self.write(self._pc, origin)
+
+    @property
+    def halted(self) -> bool:
+        if self._halt_flag is None:
+            return False
+        return self.read(self._halt_flag) != 0
+
+    def dump(self) -> Dict[str, object]:
+        snapshot: Dict[str, object] = dict(self._scalars)
+        for name, array in self._arrays.items():
+            snapshot[name] = list(array)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Simulate one clock cycle of the hardware model."""
+        values = self._values
+        for cell in self.netlist.cells:
+            out = cell.out
+            if out is None:
+                continue
+            values[out.uid] = self._eval_cell(cell, values)
+        # Gather this cycle's enabled writes.
+        next_cycle = self.cycle + 1
+        for write in self.netlist.writes:
+            if not values[write.enable.uid]:
+                continue
+            index = None
+            if write.index is not None:
+                index = values[write.index.uid]
+            self._pending.append(
+                (
+                    next_cycle + write.delay,
+                    write.phase,
+                    write.seq,
+                    write.storage,
+                    index,
+                    write.hi,
+                    write.lo,
+                    values[write.value.uid],
+                )
+            )
+        # Default PC increment, overridden by committed branch writes.
+        size = values[self.netlist.size_net.uid] if self.netlist.size_net else 1
+        pc_storage = self.desc.storages[self._pc]
+        self._scalars[self._pc] = (
+            self._scalars[self._pc] + size
+        ) & mask(pc_storage.width)
+        # Commit everything due at the end of this cycle.
+        due = [w for w in self._pending if w[0] <= next_cycle]
+        if due:
+            self._pending = [w for w in self._pending if w[0] > next_cycle]
+            for entry in sorted(due):
+                self._commit(entry)
+        self.cycle = next_cycle
+
+    def _commit(self, entry) -> None:
+        _, _, _, name, index, hi, lo, value = entry
+        storage = self.desc.storages[name]
+        if storage.addressed:
+            array = self._arrays[name]
+            index = (index or 0) % len(array)
+            old = array[index]
+            if hi is None:
+                new = value & mask(storage.width)
+            else:
+                new = set_bits(old, hi, lo if lo is not None else hi, value)
+            array[index] = new
+        else:
+            old = self._scalars[name]
+            if hi is None:
+                new = value & mask(storage.width)
+            else:
+                new = set_bits(old, hi, lo if lo is not None else hi, value)
+            self._scalars[name] = new
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Run until the halt flag rises; returns the cycle count."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"hardware model did not halt within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle
+
+    # ------------------------------------------------------------------
+    # Cell evaluation
+    # ------------------------------------------------------------------
+
+    def _eval_cell(self, cell, values) -> int:
+        if isinstance(cell, Const):
+            return cell.value
+        if isinstance(cell, RegRead):
+            return self._eval_read(cell, values)
+        if isinstance(cell, Unit):
+            return self._eval_unit(cell, values)
+        if isinstance(cell, Decode):
+            word = values[cell.word.uid]
+            for bit, required in cell.literals:
+                if ((word >> bit) & 1) != required:
+                    return 0
+            if cell.base is not None and not values[cell.base.uid]:
+                return 0
+            return 1
+        if isinstance(cell, Concat):
+            out = 0
+            for src, src_hi, src_lo, dst_lo in cell.parts:
+                out |= get_bits(values[src.uid], src_hi, src_lo) << dst_lo
+            return out
+        if isinstance(cell, Sext):
+            value = values[cell.src.uid] & mask(cell.from_width)
+            if value & (1 << (cell.from_width - 1)):
+                value -= 1 << cell.from_width
+            return value
+        if isinstance(cell, PriorityMux):
+            for enable, value in cell.cases:
+                if values[enable.uid]:
+                    return values[value.uid]
+            if cell.default is not None:
+                return values[cell.default.uid]
+            return 0
+        raise SimulationError(f"unknown cell {cell!r}")
+
+    def _eval_read(self, cell: RegRead, values) -> int:
+        if cell.index is None:
+            raw = self._scalars[cell.storage]
+        else:
+            array = self._arrays[cell.storage]
+            raw = array[values[cell.index.uid] % len(array)]
+        if cell.hi is not None:
+            return get_bits(raw, cell.hi, cell.lo if cell.lo is not None else cell.hi)
+        return raw
+
+    def _eval_unit(self, cell: Unit, values) -> int:
+        if cell.enable is not None and not values[cell.enable.uid]:
+            return 0
+        args = [values[net.uid] for net in cell.args]
+        op = cell.op
+        if op in _BINOPS:
+            return _BINOPS[op](args[0], args[1])
+        if op == "neg":
+            return -args[0]
+        if op == "not":
+            return ~args[0]
+        if op == "lnot":
+            return int(not args[0])
+        if op == "mux":
+            return args[1] if args[0] else args[2]
+        if op == "bus":
+            return args[0]
+        impl = INTRINSIC_IMPLS.get(op)
+        if impl is None:
+            raise SimulationError(f"unknown unit operation {op!r}")
+        return impl(*args)

@@ -1,0 +1,89 @@
+"""Sanity and structure tests for the bundled ISDL descriptions."""
+
+import pytest
+
+from repro.arch import ARCHITECTURES, description_for
+from repro.gensim import generate_simulator
+from repro.isdl import ast, check
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_descriptions_parse_and_check(arch):
+    desc = description_for(arch)
+    check(desc)  # full semantic validation
+    generate_simulator(desc)  # incl. decodability
+
+
+def test_descriptions_are_cached():
+    assert description_for("risc16") is description_for("risc16")
+
+
+def test_spam_matches_paper_description(spam_desc):
+    """'4-way ... that can do 4 operations and 3 parallel moves'."""
+    move_fields = [
+        f for f in spam_desc.fields if f.name.startswith("MV")
+    ]
+    op_fields = [
+        f for f in spam_desc.fields if not f.name.startswith("MV")
+    ]
+    assert len(move_fields) == 3
+    assert len(op_fields) == 4
+    # floating point on two of the operation units
+    assert any(
+        op.name.startswith("f") for op in spam_desc.field_named("FP1").operations
+    )
+    assert spam_desc.field_named("FP2").operation("fmul")
+
+
+def test_spam_is_floating_point(spam_desc):
+    from repro.isdl import rtl
+
+    fadd = spam_desc.operation("FP1", "fadd")
+    calls = [
+        e for e in rtl.walk_exprs(fadd.action[0].expr)
+        if isinstance(e, rtl.Call)
+    ]
+    assert calls and calls[0].func == "fadd"
+    assert spam_desc.storages["RF"].width == 32  # single precision
+
+
+def test_spam2_is_simpler_than_spam(spam_desc, spam2_desc):
+    assert len(spam2_desc.fields) == 3  # "a simpler 3-way VLIW"
+    spam_ops = sum(len(f.operations) for f in spam_desc.fields)
+    spam2_ops = sum(len(f.operations) for f in spam2_desc.fields)
+    assert spam2_ops < spam_ops  # "a limited number of operations"
+    assert spam2_desc.word_width < spam_desc.word_width
+
+
+def test_constraints_express_bus_sharing(spam_desc):
+    # the §4.1.1 example: memory ops may not issue with the MV3 move
+    assert not spam_desc.instruction_valid({"LSU": "st", "MV3": "mov"})
+    assert not spam_desc.instruction_valid({"LSU": "ld", "MV3": "mov"})
+    assert spam_desc.instruction_valid({"LSU": "st", "MV2": "mov"})
+
+
+def test_acc8_covers_addressing_modes(acc8_desc):
+    memop = acc8_desc.nonterminals["MEMOP"]
+    labels = {o.label for o in memop.options}
+    assert labels == {"direct", "indexed", "postinc"}
+    postinc = memop.option("postinc")
+    assert postinc.side_effect  # the auto-increment
+
+
+def test_acc8_has_stack(acc8_desc):
+    assert acc8_desc.storages["STK"].kind is ast.StorageKind.STACK
+
+
+def test_all_architectures_declare_halt_flags():
+    for arch in sorted(ARCHITECTURES):
+        desc = description_for(arch)
+        flag = desc.attributes["halt_flag"]
+        assert flag in desc.storages
+
+
+def test_word_widths():
+    widths = {
+        arch: description_for(arch).word_width
+        for arch in sorted(ARCHITECTURES)
+    }
+    assert widths == {"acc8": 16, "risc16": 24, "spam": 96, "spam2": 48}

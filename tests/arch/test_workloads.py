@@ -1,0 +1,97 @@
+"""Tests for the self-checking workload kernels."""
+
+import pytest
+
+from repro import fp
+from repro.arch import all_workloads, run_workload, workloads_for
+from repro.arch.workloads import (
+    risc16_dot_product,
+    risc16_fir,
+    risc16_sum_loop,
+    spam_dot_product,
+    spam2_vector_add,
+)
+from repro.errors import SimulationError
+
+CASES = [(w.arch, w) for w in all_workloads()]
+
+
+@pytest.mark.parametrize(
+    "arch,workload", CASES, ids=[f"{a}-{w.name}" for a, w in CASES]
+)
+def test_workload_produces_expected_results(arch, workload):
+    sim = run_workload(workload)
+    assert sim.halted
+    assert sim.stats.instructions > 0
+
+
+@pytest.mark.parametrize(
+    "arch,workload", CASES, ids=[f"{a}-{w.name}" for a, w in CASES]
+)
+def test_workloads_are_hazard_free(arch, workload):
+    from repro.arch import prepare
+
+    sim, _ = prepare(workload)
+    assert all(s == 0 for s in sim.program.stalls), (
+        "workloads must schedule around latencies"
+    )
+
+
+def test_every_architecture_has_workloads():
+    for arch in ("risc16", "spam", "spam2", "acc8"):
+        assert workloads_for(arch), arch
+
+
+def test_parameterized_sum_loop():
+    sim = run_workload(risc16_sum_loop(20))
+    assert sim.read("DM", 0) == 210
+
+
+def test_dot_product_matches_python():
+    a, b = (2, 3, 4), (5, 6, 7)
+    sim = run_workload(risc16_dot_product(a, b))
+    assert sim.read("DM", 6) == 2 * 5 + 3 * 6 + 4 * 7
+
+
+def test_fir_matches_python():
+    taps = (1, 2)
+    samples = (4, 5, 6, 7)
+    workload = risc16_fir(taps, samples)
+    sim = run_workload(workload)
+    # y[i] = x[i] + 2*x[i+1]
+    assert sim.read("DM", 64) == 4 + 2 * 5
+    assert sim.read("DM", 66) == 6 + 2 * 7
+
+
+def test_fp_dot_product_is_bit_true():
+    a = (1.1, 2.2)
+    b = (3.3, -4.4)
+    workload = spam_dot_product(a, b)
+    sim = run_workload(workload)
+    acc = fp.float_to_bits(0.0)
+    for x, y in zip(a, b):
+        acc = fp.fadd(
+            acc, fp.fmul(fp.float_to_bits(x), fp.float_to_bits(y))
+        )
+    assert sim.read("DM", 4) == acc
+
+
+def test_vector_add_wraps_16_bit():
+    workload = spam2_vector_add((0xFFFF,), (2,))
+    sim = run_workload(workload)
+    assert sim.read("DM", 32) == 1  # modulo 2^16
+
+
+def test_run_workload_raises_on_wrong_expectation():
+    import dataclasses
+
+    workload = risc16_sum_loop(5)
+    broken = dataclasses.replace(workload, expected={"DM": {0: 9999}})
+    with pytest.raises(SimulationError):
+        run_workload(broken)
+
+
+def test_workload_descriptions_present():
+    for workload in all_workloads():
+        assert workload.description
+        assert workload.source.strip()

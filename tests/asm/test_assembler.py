@@ -1,0 +1,214 @@
+"""Tests for the retargetable assembler."""
+
+import pytest
+
+from repro.asm import Assembler, assemble
+from repro.errors import AssemblerError, ConstraintViolation
+
+
+def words(desc, source):
+    return assemble(desc, source).words
+
+
+def test_simple_instruction(risc16_desc):
+    program = assemble(risc16_desc, "ldi r3, #42\n")
+    assert len(program.words) == 1
+    word = program.words[0]
+    assert word >> 19 == 0b01010
+    assert (word >> 16) & 7 == 3
+    assert (word >> 5) & 0xFF == 42
+
+
+def test_comments_and_blank_lines_ignored(risc16_desc):
+    program = assemble(risc16_desc, """
+; full-line comment
+
+    nop   ; trailing comment
+""")
+    assert len(program.words) == 1
+
+
+def test_labels_and_relative_branch(risc16_desc):
+    program = assemble(risc16_desc, """
+start:  nop
+        beq start - .
+""")
+    # branch at address 1, target 0 -> displacement -1
+    assert (program.words[1] >> 5) & 0xFF == 0xFF
+    assert program.symbols["start"] == 0
+
+
+def test_forward_reference(risc16_desc):
+    program = assemble(risc16_desc, """
+        beq done - .
+        nop
+done:   halt
+""")
+    assert (program.words[0] >> 5) & 0xFF == 2
+
+
+def test_absolute_jump_to_label(risc16_desc):
+    program = assemble(risc16_desc, """
+        jmp entry
+        nop
+entry:  halt
+""")
+    assert (program.words[0] >> 3) & 0x3FF == 2
+
+
+def test_equ_directive(risc16_desc):
+    program = assemble(risc16_desc, """
+        .equ COUNT 7
+        ldi r0, #COUNT
+""")
+    assert (program.words[0] >> 5) & 0xFF == 7
+
+
+def test_org_directive(risc16_desc):
+    program = assemble(risc16_desc, """
+        .org 0x10
+        nop
+        halt
+""")
+    assert program.origin == 0x10
+    assert len(program.words) == 2
+
+
+def test_immediate_arithmetic(risc16_desc):
+    program = assemble(risc16_desc, """
+        .equ BASE 8
+        ldi r0, #BASE + 3
+""")
+    assert (program.words[0] >> 5) & 0xFF == 11
+
+
+def test_unknown_mnemonic_reports_line(risc16_desc):
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(risc16_desc, "nop\nfrobnicate r1\n")
+    assert ":2:" in str(excinfo.value)
+
+
+def test_undefined_symbol_rejected(risc16_desc):
+    with pytest.raises(AssemblerError):
+        assemble(risc16_desc, "ldi r0, #MISSING\n")
+
+
+def test_duplicate_label_rejected(risc16_desc):
+    with pytest.raises(AssemblerError):
+        assemble(risc16_desc, "a: nop\na: nop\n")
+
+
+def test_register_out_of_range_not_matched(risc16_desc):
+    with pytest.raises(AssemblerError):
+        assemble(risc16_desc, "ldi r9, #1\n")
+
+
+def test_immediate_out_of_range_rejected(risc16_desc):
+    with pytest.raises(AssemblerError):
+        assemble(risc16_desc, "ldi r0, #300\n")
+
+
+def test_signed_immediate_range(risc16_desc):
+    assemble(risc16_desc, "beq 0 - 128\n")
+    with pytest.raises(AssemblerError):
+        assemble(risc16_desc, "beq 0 - 129\n")
+
+
+def test_case_insensitive_mnemonics_and_registers(risc16_desc):
+    upper = assemble(risc16_desc, "ADD R1, R2, R3\n").words
+    lower = assemble(risc16_desc, "add r1, r2, r3\n").words
+    assert upper == lower
+
+
+def test_nt_operand_alternatives(risc16_desc):
+    reg = assemble(risc16_desc, "mov r0, r5\n").words[0]
+    imm = assemble(risc16_desc, "mov r0, #5\n").words[0]
+    assert (reg >> 12) & 1 == 0
+    assert (imm >> 12) & 1 == 1
+
+
+def test_parenthesised_syntax(risc16_desc):
+    program = assemble(risc16_desc, "ld r1, (r2)\nst (r2), r1\n")
+    assert len(program.words) == 2
+
+
+def test_vliw_parts_assigned_to_distinct_fields(spam_desc):
+    program = assemble(
+        spam_desc, "mov r1, r2 | mov r3, r4 | mov r5, r6\n"
+    )
+    word = program.words[0]
+    assert (word >> 27) & 1 == 1  # MV1 enabled
+    assert (word >> 18) & 1 == 1  # MV2 enabled
+    assert (word >> 9) & 1 == 1  # MV3 enabled
+
+
+def test_constraint_violation_rejected(spam_desc):
+    with pytest.raises(ConstraintViolation):
+        assemble(spam_desc, "st (r1), r2 | mov r3, r4 | mov r5, r6 | mov r7, r8\n")
+
+
+def test_constraint_allows_legal_combination(spam_desc):
+    assemble(spam_desc, "st (r1), r2 | mov r3, r4 | mov r5, r6\n")
+
+
+def test_backtracking_across_nt_options(acc8_desc):
+    indexed = assemble(acc8_desc, "add (X)\n").words[0]
+    postinc = assemble(acc8_desc, "add (X)+\n").words[0]
+    assert (indexed >> 8) & 3 == 0b01
+    assert (postinc >> 8) & 3 == 0b10
+
+
+def test_enum_token_matching():
+    from repro.isdl import load_string
+
+    desc = load_string('''
+processor "E"
+section format
+    word 8
+end
+section global_definitions
+    token CC enum { EQ = 0, NE = 1, LT = 2 }
+end
+section storage
+    instruction_memory IM width 8 depth 8
+    register ACC width 8
+    program_counter PC width 3
+end
+section instruction_set
+    field EX
+        operation bc(c: CC)
+            encoding { bits[7:4] = 0b0001; bits[1:0] = c }
+    end
+end
+''')
+    program = assemble(desc, "bc NE\nbc lt\n")
+    assert program.words[0] & 3 == 1
+    assert program.words[1] & 3 == 2
+
+
+def test_listing_contains_addresses_and_text(risc16_desc):
+    program = assemble(risc16_desc, "nop\nhalt\n")
+    assert program.listing[0].startswith("0x0000:")
+    assert "halt" in program.listing[1]
+
+
+def test_assemble_file(tmp_path, risc16_desc):
+    path = tmp_path / "prog.s"
+    path.write_text("ldi r0, #1\nhalt\n")
+    program = Assembler(risc16_desc).assemble_file(str(path))
+    assert len(program.words) == 2
+
+
+def test_main_cli(tmp_path, capsys):
+    from repro.arch.risc16 import ISDL_SOURCE
+    from repro.asm.assembler import main
+
+    isdl = tmp_path / "risc16.isdl"
+    isdl.write_text(ISDL_SOURCE)
+    src = tmp_path / "p.s"
+    src.write_text("nop\nhalt\n")
+    out = tmp_path / "p.hex"
+    assert main([str(isdl), str(src), str(out)]) == 0
+    lines = out.read_text().split()
+    assert len(lines) == 2
+    assert main([]) == 2

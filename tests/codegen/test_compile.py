@@ -1,0 +1,196 @@
+"""End-to-end tests for the retargetable compiler: IR → asm → simulation."""
+
+import pytest
+
+from repro import fp
+from repro.arch import ARCHITECTURES, description_for
+from repro.asm import Assembler
+from repro.codegen import Compiler, Cond, KernelBuilder, Opcode, analyze
+from repro.errors import CodegenError
+from repro.gensim import XSim
+
+
+def run(desc, kernel, preload=None):
+    compiler = Compiler(desc)
+    program = compiler.compile_to_words(kernel)
+    sim = XSim(desc)
+    if preload:
+        for storage, contents in preload.items():
+            for index, value in contents.items():
+                sim.write(storage, value, index)
+    sim.load_words(program.words, program.origin)
+    sim.run_to_completion()
+    return sim
+
+
+def sum_kernel(n=10):
+    K = KernelBuilder("sum")
+    cnt = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return K.build()
+
+
+@pytest.mark.parametrize("arch", ["risc16", "spam", "spam2"])
+def test_sum_loop_on_every_target(arch):
+    desc = description_for(arch)
+    sim = run(desc, sum_kernel(10))
+    assert sim.read("DM", 0) == 55
+
+
+@pytest.mark.parametrize("arch", ["risc16", "spam", "spam2"])
+def test_compiled_code_is_hazard_free(arch):
+    desc = description_for(arch)
+    program = Compiler(desc).compile_to_words(sum_kernel(5))
+    sim = XSim(desc)
+    sim.load_words(program.words, program.origin)
+    sim.run_to_completion()
+    assert sim.stats.stall_cycles == 0
+
+
+def test_memory_roundtrip(risc16_desc):
+    K = KernelBuilder()
+    addr = K.li(7)
+    value = K.load(addr)
+    doubled = K.add(value, value)
+    K.store(K.li(8), doubled)
+    sim = run(risc16_desc, K.build(), preload={"DM": {7: 21}})
+    assert sim.read("DM", 8) == 42
+
+
+def test_all_binary_operators(risc16_desc):
+    K = KernelBuilder()
+    a = K.li(0b1100)
+    b = K.li(0b1010)
+    K.store(K.li(0), K.add(a, b))
+    K.store(K.li(1), K.sub(a, b))
+    K.store(K.li(2), K.and_(a, b))
+    K.store(K.li(3), K.binary(Opcode.OR, a, b))
+    K.store(K.li(4), K.binary(Opcode.XOR, a, b))
+    K.store(K.li(5), K.shl(a, 2))
+    K.store(K.li(6), K.shr(a, 2))
+    sim = run(risc16_desc, K.build())
+    assert sim.read("DM", 0) == 0b10110
+    assert sim.read("DM", 1) == 0b0010
+    assert sim.read("DM", 2) == 0b1000
+    assert sim.read("DM", 3) == 0b1110
+    assert sim.read("DM", 4) == 0b0110
+    assert sim.read("DM", 5) == 0b110000
+    assert sim.read("DM", 6) == 0b11
+
+
+def test_conditions_eq_ne_lt(risc16_desc):
+    for cond, a, b, taken in [
+        (Cond.EQ, 5, 5, True),
+        (Cond.EQ, 5, 6, False),
+        (Cond.NE, 5, 6, True),
+        (Cond.LT, 3, 9, True),
+        (Cond.LT, 9, 3, False),
+    ]:
+        K = KernelBuilder()
+        va = K.li(a)
+        vb = K.li(b)
+        K.cbr(cond, va, vb, "yes")
+        K.store(K.li(0), K.li(1))  # not-taken marker
+        K.jump("end")
+        K.label("yes")
+        K.store(K.li(0), K.li(2))  # taken marker
+        K.label("end")
+        K.halt()
+        sim = run(risc16_desc, K.build())
+        assert sim.read("DM", 0) == (2 if taken else 1), (cond, a, b)
+
+
+def test_lt_via_sign_bit_on_spam(spam_desc):
+    # SPAM has no negative flag: LT lowers to sub + shr + bnez.
+    K = KernelBuilder()
+    a = K.li(3)
+    b = K.li(9)
+    K.cbr(Cond.LT, a, b, "yes")
+    K.store(K.li(0), K.li(1))
+    K.jump("end")
+    K.label("yes")
+    K.store(K.li(0), K.li(2))
+    K.label("end")
+    K.halt()
+    sim = run(spam_desc, K.build())
+    assert sim.read("DM", 0) == 2
+
+
+def test_wide_constant_materialization(spam_desc):
+    K = KernelBuilder()
+    value = K.li(0x12345)
+    K.store(K.li(0), value)
+    sim = run(spam_desc, K.build())
+    assert sim.read("DM", 0) == 0x12345
+
+
+def test_fp_kernel_on_spam(spam_desc):
+    K = KernelBuilder()
+    a = K.li(fp.float_to_bits(1.5))
+    b = K.li(fp.float_to_bits(2.0))
+    K.store(K.li(0), K.fadd(a, b))
+    K.store(K.li(1), K.fmul(a, b))
+    sim = run(spam_desc, K.build())
+    assert sim.read("DM", 0) == fp.float_to_bits(3.5)
+    assert sim.read("DM", 1) == fp.float_to_bits(3.0)
+
+
+def test_fp_rejected_on_integer_target(risc16_desc):
+    K = KernelBuilder()
+    a = K.li(1)
+    K.fadd(a, a)
+    K.halt()
+    with pytest.raises(CodegenError):
+        Compiler(risc16_desc).compile(K.build())
+
+
+def test_mul_rejected_without_multiplier(risc16_desc):
+    K = KernelBuilder()
+    a = K.li(3)
+    K.mul(a, a)
+    K.halt()
+    with pytest.raises(CodegenError):
+        Compiler(risc16_desc).compile(K.build())
+
+
+def test_vliw_packing_reduces_instructions(spam_desc):
+    K = KernelBuilder()
+    values = [K.li(i + 1) for i in range(4)]
+    # four independent adds can overlap with moves/loads on SPAM
+    results = [K.add(v, 1) for v in values]
+    for i, r in enumerate(results):
+        K.store(K.li(i), r)
+    kernel = K.build()
+    packed = Compiler(spam_desc).compile(kernel, parallelize=True)
+    serial = Compiler(spam_desc).compile(kernel, parallelize=False)
+    assert packed.instruction_count <= serial.instruction_count
+
+
+def test_compiler_output_is_reassemblable_text(risc16_desc):
+    program = Compiler(risc16_desc).compile(sum_kernel(3))
+    assembled = Assembler(risc16_desc).assemble(program.source)
+    assert len(assembled.words) == program.instruction_count
+
+
+def test_register_pressure_failure_is_reported(risc16_desc):
+    K = KernelBuilder()
+    values = [K.li(i) for i in range(10)]  # 10 live > 8 registers
+    total = values[0]
+    for value in values[1:]:
+        total = K.add(total, value)
+    K.store(K.li(0), total)
+    with pytest.raises(CodegenError) as excinfo:
+        Compiler(risc16_desc).compile(K.build())
+    assert "register allocation failed" in str(excinfo.value)
+
+
+def test_analyze_finds_expected_pattern_kinds():
+    for arch in ("risc16", "spam", "spam2"):
+        isa = analyze(description_for(arch))
+        kinds = {p.kind for p in isa.patterns}
+        assert {"alu", "li", "load", "store", "halt"} <= kinds

@@ -1,0 +1,103 @@
+"""Tests for the IR and kernel builder."""
+
+import pytest
+
+from repro.codegen.ir import (
+    Cond,
+    Imm,
+    IrOp,
+    Kernel,
+    KernelBuilder,
+    Opcode,
+    VReg,
+)
+from repro.errors import CodegenError
+
+
+def test_builder_creates_fresh_vregs():
+    K = KernelBuilder()
+    a = K.li(1)
+    b = K.li(2)
+    assert a != b
+    assert isinstance(a, VReg)
+
+
+def test_binary_helpers_emit_ops():
+    K = KernelBuilder()
+    a = K.li(1)
+    b = K.li(2)
+    c = K.add(a, b)
+    kernel = K.build()
+    assert kernel.ops[2].opcode is Opcode.ADD
+    assert kernel.ops[2].dst == c
+
+
+def test_int_operands_become_immediates():
+    K = KernelBuilder()
+    a = K.li(1)
+    K.add(a, 5)
+    assert K.kernel.ops[1].b == Imm(5)
+
+
+def test_explicit_destination_forms():
+    K = KernelBuilder()
+    a = K.li(1)
+    K.binary_into(a, Opcode.ADD, a, 1)
+    K.mov_into(a, 3)
+    K.li_into(a, 9)
+    assert all(op.dst == a for op in K.kernel.ops)
+
+
+def test_validate_rejects_undefined_label():
+    K = KernelBuilder()
+    K.jump("nowhere")
+    with pytest.raises(CodegenError):
+        K.build()
+
+
+def test_validate_rejects_use_before_def():
+    kernel = Kernel(ops=[IrOp(Opcode.MOV, VReg(1), VReg(0))])
+    with pytest.raises(CodegenError):
+        kernel.validate()
+
+
+def test_validate_accepts_loop():
+    K = KernelBuilder()
+    n = K.li(3)
+    K.label("top")
+    K.binary_into(n, Opcode.SUB, n, 1)
+    K.cbr(Cond.NE, n, 0, "top")
+    K.halt()
+    K.build()
+
+
+def test_uses_and_defines():
+    op = IrOp(Opcode.ADD, VReg(2), VReg(0), VReg(1))
+    assert op.uses() == [VReg(0), VReg(1)]
+    assert op.defines() == VReg(2)
+    store = IrOp(Opcode.STORE, None, VReg(0), Imm(3))
+    assert store.uses() == [VReg(0)]
+    assert store.defines() is None
+
+
+def test_str_renderings():
+    K = KernelBuilder()
+    a = K.li(7)
+    K.store(3, a)
+    K.label("x")
+    K.cbr(Cond.EQ, a, 0, "x")
+    K.halt()
+    text = str(K.kernel)
+    assert "v0 <- #7" in text
+    assert "mem[#3] <- v0" in text
+    assert "x:" in text
+    assert "halt" in text
+
+
+def test_labels_map():
+    K = KernelBuilder()
+    K.label("a")
+    K.li(0)
+    K.label("b")
+    kernel = K.kernel
+    assert kernel.labels() == {"a": 0, "b": 2}

@@ -1,0 +1,86 @@
+"""Tests for linear-scan register allocation."""
+
+import pytest
+
+from repro.codegen.ir import Cond, KernelBuilder, Opcode
+from repro.codegen.regalloc import allocate, live_intervals, max_pressure
+from repro.errors import CodegenError
+
+
+def straight_line(n_values):
+    K = KernelBuilder()
+    values = [K.li(i) for i in range(n_values)]
+    total = values[0]
+    for value in values[1:]:
+        total = K.add(total, value)
+    K.store(0, total)
+    return K.build()
+
+
+def test_sequential_reuse():
+    # v0 dies as soon as v1 is defined from it: two registers suffice.
+    K = KernelBuilder()
+    a = K.li(1)
+    b = K.add(a, 1)
+    c = K.add(b, 1)
+    K.store(0, c)
+    mapping = allocate(K.build(), register_count=2)
+    assert set(mapping.values()) <= {0, 1}
+
+
+def test_allocation_respects_first_register():
+    kernel = straight_line(2)
+    mapping = allocate(kernel, register_count=4, first_register=8)
+    assert all(8 <= r < 12 for r in mapping.values())
+
+
+def test_reserved_registers_not_used():
+    kernel = straight_line(2)
+    mapping = allocate(kernel, register_count=4, reserved=(0, 1))
+    assert all(r in (2, 3) for r in mapping.values())
+
+
+def test_failure_when_too_many_live():
+    kernel = straight_line(6)  # all 6 initial values live at the first add
+    with pytest.raises(CodegenError):
+        allocate(kernel, register_count=3)
+
+
+def test_live_values_get_distinct_registers():
+    kernel = straight_line(4)
+    mapping = allocate(kernel, register_count=8)
+    intervals = {iv.vreg: iv for iv in live_intervals(kernel)}
+    regs = list(mapping.items())
+    for i, (va, ra) in enumerate(regs):
+        for vb, rb in regs[i + 1 :]:
+            a, b = intervals[va], intervals[vb]
+            # strict overlap: touching intervals may share (read-before-write)
+            overlap = a.start < b.end and b.start < a.end
+            if overlap:
+                assert ra != rb, f"{va} and {vb} overlap but share {ra}"
+
+
+def test_loop_carried_value_stays_live():
+    K = KernelBuilder()
+    n = K.li(5)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, n)
+    K.binary_into(n, Opcode.SUB, n, 1)
+    K.cbr(Cond.NE, n, 0, "loop")
+    K.store(0, acc)
+    kernel = K.build()
+    intervals = {iv.vreg: iv for iv in live_intervals(kernel)}
+    # 'acc' must stay live through the whole loop even though its last
+    # read inside the body is before the branch.
+    branch_pos = next(
+        i for i, op in enumerate(kernel.ops) if op.opcode is Opcode.CBR
+    )
+    assert intervals[acc].end >= branch_pos
+    mapping = allocate(kernel, register_count=4)
+    assert mapping[acc] != mapping[n]
+
+
+def test_max_pressure():
+    assert max_pressure(straight_line(5)) == 5
+    assert max_pressure(straight_line(2)) == 2

@@ -1,0 +1,71 @@
+"""Shared fixtures: cached architecture descriptions and simulators."""
+
+import pytest
+
+from repro.arch import acc8, risc16, spam, spam2
+
+
+@pytest.fixture(scope="session")
+def risc16_desc():
+    return risc16.description()
+
+
+@pytest.fixture(scope="session")
+def spam_desc():
+    return spam.description()
+
+
+@pytest.fixture(scope="session")
+def spam2_desc():
+    return spam2.description()
+
+
+@pytest.fixture(scope="session")
+def acc8_desc():
+    return acc8.description()
+
+
+MINIMAL_ISDL = '''
+processor "MINI"
+
+section format
+    word 16
+end
+
+section global_definitions
+    token REG prefix "R" range 0 .. 3
+    token IMM4 immediate unsigned width 4
+end
+
+section storage
+    instruction_memory IM width 16 depth 64
+    register_file RF width 8 depth 4
+    control_register HALTED width 1
+    program_counter PC width 6
+end
+
+section instruction_set
+    field EX
+        operation nop()
+            encoding { bits[15:12] = 0b0000 }
+        operation addi(d: REG, a: REG, v: IMM4)
+            encoding { bits[15:12] = 0b0001; bits[11:10] = d;
+                       bits[9:8] = a; bits[7:4] = v }
+            action { RF[d] <- RF[a] + v; }
+        operation halt()
+            encoding { bits[15:12] = 0b1111 }
+            action { HALTED <- 1; }
+    end
+end
+
+section optional
+    attribute halt_flag "HALTED"
+end
+'''
+
+
+@pytest.fixture(scope="session")
+def mini_desc():
+    from repro.isdl import load_string
+
+    return load_string(MINIMAL_ISDL, filename="mini.isdl")

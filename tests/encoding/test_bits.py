@@ -1,0 +1,59 @@
+"""Property tests for the bit-manipulation helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import bits
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@given(widths)
+def test_mask_width(width):
+    assert bits.mask(width).bit_length() == width
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1), widths)
+def test_get_set_roundtrip(value, width):
+    hi = width - 1
+    field = bits.get_bits(value, hi, 0)
+    assert bits.set_bits(value, hi, 0, field) == value
+
+
+@given(st.data())
+def test_set_then_get(data):
+    width = data.draw(widths)
+    lo = data.draw(st.integers(min_value=0, max_value=40))
+    hi = lo + width - 1
+    value = data.draw(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    field = data.draw(st.integers(min_value=0, max_value=bits.mask(width)))
+    updated = bits.set_bits(value, hi, lo, field)
+    assert bits.get_bits(updated, hi, lo) == field
+    # bits outside the range are untouched
+    outside_mask = ~(bits.mask(width) << lo)
+    assert updated & outside_mask == value & outside_mask
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1), widths)
+def test_sign_extend_idempotent_on_masked(value, width):
+    extended = bits.sign_extend(value, width)
+    assert bits.to_unsigned(extended, width) == value & bits.mask(width)
+    assert bits.sign_extend(bits.to_unsigned(extended, width), width) == extended
+
+
+@given(widths)
+def test_sign_extend_extremes(width):
+    top = 1 << (width - 1)
+    assert bits.sign_extend(top, width) == -top
+    assert bits.sign_extend(top - 1, width) == top - 1
+
+
+@given(st.integers(), widths)
+def test_fits_signed_matches_range(value, width):
+    half = 1 << (width - 1)
+    assert bits.fits_signed(value, width) == (-half <= value < half)
+
+
+@given(st.integers(), widths)
+def test_fits_unsigned_matches_range(value, width):
+    assert bits.fits_unsigned(value, width) == (0 <= value < (1 << width))

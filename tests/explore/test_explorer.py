@@ -1,0 +1,105 @@
+"""Tests for the Figure-1 exploration loop."""
+
+import pytest
+
+from repro.arch import description_for
+from repro.codegen import Cond, KernelBuilder, Opcode
+from repro.explore import (
+    CostWeights,
+    Explorer,
+    evaluate,
+    evaluation_table,
+    exploration_report,
+)
+
+
+def sum_kernel(n=6):
+    K = KernelBuilder("sum")
+    cnt = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return K.build()
+
+
+def fp_kernel():
+    K = KernelBuilder("fpk")
+    a = K.load(K.li(0))
+    b = K.load(K.li(1))
+    K.store(K.li(2), K.fadd(a, b))
+    return K.build()
+
+
+@pytest.fixture(scope="module")
+def risc_eval():
+    return evaluate(description_for("risc16"), [sum_kernel()])
+
+
+def test_evaluation_measures_everything(risc_eval):
+    assert risc_eval.feasible
+    assert risc_eval.cycles > 10
+    assert risc_eval.cycle_ns > 5
+    assert risc_eval.die_size > 1000
+    assert risc_eval.power_mw > 0
+    assert risc_eval.runtime_us == pytest.approx(
+        risc_eval.cycles * risc_eval.cycle_ns / 1000.0
+    )
+    assert risc_eval.per_kernel_cycles["sum"] == risc_eval.cycles
+
+
+def test_cost_monotone_in_weights(risc_eval):
+    light = risc_eval.cost(CostWeights(1.0, 0.0, 0.0))
+    heavy = risc_eval.cost(CostWeights(1.0, 1.0, 0.0))
+    assert heavy > light
+
+
+def test_infeasible_kernel_reports_reason():
+    evaluation = evaluate(description_for("risc16"), [fp_kernel()])
+    assert not evaluation.feasible
+    assert "falu" in evaluation.reason or "fadd" in evaluation.reason
+    assert evaluation.cost(CostWeights()) == float("inf")
+
+
+def test_exploration_improves_spam_for_integer_code():
+    explorer = Explorer([sum_kernel()])
+    log = explorer.explore(description_for("spam"), max_iterations=3)
+    assert log.improvement > 1.0
+    assert len(log.accepted) >= 2
+    first = log.accepted[0].evaluation
+    best = log.best.evaluation
+    assert best.die_size < first.die_size
+    # correctness is preserved along the trajectory: cycles still measured
+    assert best.cycles > 0
+
+
+def test_exploration_stops_at_fixpoint():
+    explorer = Explorer([sum_kernel()])
+    log = explorer.explore(description_for("risc16"), max_iterations=6)
+    assert log.iterations <= 6
+    # all accepted candidates are strictly improving
+    costs = [c.cost(log.weights) for c in log.accepted]
+    assert all(b < a for a, b in zip(costs, costs[1:]))
+
+
+def test_report_formats(risc_eval):
+    explorer = Explorer([sum_kernel()])
+    log = explorer.explore(description_for("risc16"), max_iterations=1)
+    report = exploration_report(log)
+    assert "iteration" in report
+    assert "cost" in report
+    table = evaluation_table([risc_eval], CostWeights())
+    assert "RISC16" in table
+    assert "cycles" in table
+
+
+def test_candidates_keep_isdl_printability():
+    from repro.isdl import load_string, print_description
+
+    explorer = Explorer([sum_kernel()])
+    log = explorer.explore(description_for("spam"), max_iterations=2)
+    for candidate in log.accepted:
+        text = print_description(candidate.desc)
+        load_string(text)  # every candidate is a complete ISDL document

@@ -1,0 +1,144 @@
+"""Tests for architecture transforms (exploration moves)."""
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.gensim import generate_simulator
+from repro.isdl import ast, check, print_description, load_string
+from repro.explore import transforms
+
+
+def test_drop_operation(risc16_desc):
+    candidate = transforms.drop_operation(risc16_desc, "EX", "jal")
+    check(candidate)
+    with pytest.raises(KeyError):
+        candidate.operation("EX", "jal")
+    assert candidate.name != risc16_desc.name
+    # the original is untouched
+    assert risc16_desc.operation("EX", "jal") is not None
+
+
+def test_drop_unknown_operation_raises(risc16_desc):
+    with pytest.raises(ExplorationError):
+        transforms.drop_operation(risc16_desc, "EX", "bogus")
+
+
+def test_drop_operation_removes_constraints(spam_desc):
+    candidate = transforms.drop_operation(spam_desc, "LSU", "st")
+    check(candidate)
+    for constraint in candidate.constraints:
+        for ref in ast.oprefs_in(constraint.expr):
+            assert (ref.field, ref.op) != ("LSU", "st")
+
+
+def test_drop_field(spam_desc):
+    candidate = transforms.drop_field(spam_desc, "MV3")
+    check(candidate)
+    assert [f.name for f in candidate.fields] == [
+        "FP1", "FP2", "INT", "LSU", "MV1", "MV2"
+    ]
+    # constraints naming MV3 are gone
+    assert all(
+        all(ref.field != "MV3" for ref in ast.oprefs_in(c.expr))
+        for c in candidate.constraints
+    )
+
+
+def test_dropping_last_field_raises(mini_desc):
+    with pytest.raises(ExplorationError):
+        transforms.drop_field(mini_desc, "EX")
+
+
+def test_set_operation_timing(spam_desc):
+    candidate = transforms.set_operation_timing(
+        spam_desc, "FP1", "fadd",
+        costs=ast.Costs(1, 0, 1), timing=ast.Timing(1, 1),
+    )
+    op = candidate.operation("FP1", "fadd")
+    assert op.costs.stall == 0
+    assert op.timing.latency == 1
+    assert spam_desc.operation("FP1", "fadd").timing.latency == 2
+
+
+def test_add_constraint(spam_desc):
+    candidate = transforms.add_constraint(
+        spam_desc, "FP1", "fadd", "FP2", "fmul"
+    )
+    assert not candidate.instruction_valid(
+        {"FP1": "fadd", "FP2": "fmul"}
+    )
+    assert spam_desc.instruction_valid({"FP1": "fadd", "FP2": "fmul"})
+
+
+def test_narrow_register_file(risc16_desc):
+    candidate = transforms.narrow_register_file(risc16_desc, 4)
+    check(candidate)
+    assert candidate.storages["RF"].depth == 4
+    assert candidate.tokens["REG"].hi == 3
+    # candidates remain fully usable by the generators
+    sim = generate_simulator(candidate)
+    from repro.asm import assemble
+
+    program = assemble(candidate, "ldi r3, #9\nhalt\n")
+    sim.load_words(program.words)
+    sim.run_to_completion()
+    assert sim.read("RF", 3) == 9
+
+
+def test_narrow_register_file_rejects_r4(risc16_desc):
+    from repro.errors import AssemblerError
+    from repro.asm import assemble
+
+    candidate = transforms.narrow_register_file(risc16_desc, 4)
+    with pytest.raises(AssemblerError):
+        assemble(candidate, "ldi r5, #1\n")
+
+
+def test_narrow_register_file_bad_depth(risc16_desc):
+    with pytest.raises(ExplorationError):
+        transforms.narrow_register_file(risc16_desc, 16)
+    with pytest.raises(ExplorationError):
+        transforms.narrow_register_file(risc16_desc, 1)
+
+
+def test_narrow_register_file_must_shrink_token(risc16_desc):
+    # depth 5 keeps a 3-bit register number: no narrowing possible
+    with pytest.raises(ExplorationError):
+        transforms.narrow_register_file(risc16_desc, 5)
+
+
+def test_resize_memory(spam_desc):
+    candidate = transforms.resize_memory(spam_desc, "IM", 256)
+    check(candidate)
+    assert candidate.storages["IM"].depth == 256
+    assert spam_desc.storages["IM"].depth == 4096
+
+
+def test_resize_memory_rejects_scalars(spam_desc):
+    with pytest.raises(ExplorationError):
+        transforms.resize_memory(spam_desc, "ZF", 4)
+
+
+def test_too_small_instruction_memory_is_infeasible(spam_desc):
+    """A shrink below the program size surfaces as an infeasible
+    candidate during evaluation, not as a crash."""
+    from repro.codegen import KernelBuilder
+    from repro.explore import evaluate
+
+    K = KernelBuilder()
+    for i in range(12):
+        K.store(K.li(i), K.li(i))
+    kernel = K.build()
+    tiny = transforms.resize_memory(spam_desc, "IM", 8)
+    evaluation = evaluate(tiny, [kernel])
+    assert not evaluation.feasible
+    assert "not fit" in evaluation.reason or "fit" in evaluation.reason
+
+
+def test_transformed_descriptions_roundtrip_as_isdl(spam_desc):
+    candidate = transforms.drop_field(spam_desc, "MV2")
+    text = print_description(candidate)
+    reparsed = load_string(text)
+    assert [f.name for f in reparsed.fields] == [
+        f.name for f in candidate.fields
+    ]

@@ -1,0 +1,129 @@
+"""Tests for the XSIM command-line / batch interface."""
+
+import pytest
+
+from repro.gensim.cli import CommandLine
+from repro.gensim.xsim import XSim
+
+
+@pytest.fixture
+def cli(risc16_desc, tmp_path):
+    sim = XSim(risc16_desc)
+    output = []
+    cli = CommandLine(sim, out=output.append)
+    cli.output = output
+    source = tmp_path / "prog.s"
+    source.write_text(
+        "ldi r0, #3\nadd r1, r1, r0\nst (r2), r1\nhalt\n"
+    )
+    cli.execute(f"asm {source}")
+    return cli
+
+
+def text(cli):
+    return "\n".join(cli.output)
+
+
+def test_asm_and_run(cli):
+    cli.execute("run")
+    assert "halted" in text(cli)
+    assert cli.sim.read("DM", 0) == 3
+
+
+def test_examine_and_set(cli):
+    cli.execute("set RF 5 0x2a")
+    cli.execute("examine RF 5")
+    assert "0x2a" in text(cli)
+    cli.execute("x RF[5]")
+    assert text(cli).count("0x2a") >= 2
+
+
+def test_examine_scalar(cli):
+    cli.execute("examine PC")
+    assert "PC = 0x0" in text(cli)
+
+
+def test_step(cli):
+    cli.execute("step 2")
+    assert "cycle 2" in text(cli)
+
+
+def test_breakpoint_and_attached_commands(cli):
+    cli.execute('break 2 echo hit-bp; examine RF 1')
+    cli.execute("run")
+    assert "hit-bp" in text(cli)
+    assert "RF[1] = 0x3" in text(cli)
+    assert "breakpoint" in text(cli)
+    cli.execute("delete 2")
+    cli.execute("run")
+    assert "halted" in text(cli)
+
+
+def test_watch_reports_changes(cli):
+    cli.execute("watch DM")
+    cli.execute("run")
+    assert any("DM[0] changed" in line for line in cli.output)
+
+
+def test_trace_to_file(cli, tmp_path):
+    trace_path = tmp_path / "trace.txt"
+    cli.execute(f"trace {trace_path}")
+    cli.execute("run")
+    cli.execute("trace off")
+    contents = trace_path.read_text()
+    assert len(contents.splitlines()) == 4
+
+
+def test_dis_listing(cli):
+    cli.execute("dis")
+    assert "halt" in text(cli)
+
+
+def test_stats(cli):
+    cli.execute("run")
+    cli.execute("stats")
+    assert "instructions" in text(cli)
+
+
+def test_reset(cli):
+    cli.execute("run")
+    cli.execute("set HALTED 0")
+    cli.execute("reset")
+    assert cli.sim.cycle == 0
+
+
+def test_batch_file(cli, tmp_path):
+    batch = tmp_path / "commands.txt"
+    batch.write_text("run\nexamine DM 0\necho done\n")
+    cli.execute(f"batch {batch}")
+    assert "done" in text(cli)
+    assert "DM[0] = 0x3" in text(cli)
+
+
+def test_unknown_command_reports_error(cli):
+    cli.execute("frobnicate")
+    assert "unknown command" in text(cli)
+
+
+def test_errors_are_caught_not_raised(cli):
+    cli.execute("examine NOSUCH")
+    assert "error" in text(cli)
+
+
+def test_load_hex_file(risc16_desc, tmp_path):
+    output = []
+    cli = CommandLine(XSim(risc16_desc), out=output.append)
+    hex_path = tmp_path / "p.hex"
+    hex_path.write_text("f80000\n")  # halt
+    cli.execute(f"load {hex_path}")
+    assert "loaded 1 words" in "\n".join(output)
+
+
+def test_quit_sets_done(cli):
+    cli.execute("quit")
+    assert cli.done
+
+
+def test_comments_ignored(cli):
+    cli.execute("# just a comment")
+    cli.execute("")

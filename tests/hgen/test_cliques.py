@@ -1,0 +1,106 @@
+"""Tests (incl. property-based) for clique partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hgen.cliques import clique_partition, verify_cliques
+
+
+def adjacency_from_edges(n, edges):
+    adj = [set() for _ in range(n)]
+    for a, b in edges:
+        if a != b:
+            adj[a].add(b)
+            adj[b].add(a)
+    return adj
+
+
+def test_empty_graph():
+    assert clique_partition([]) == []
+
+
+def test_isolated_vertices_become_singletons():
+    adj = adjacency_from_edges(3, [])
+    assert clique_partition(adj) == [[0], [1], [2]]
+
+
+def test_complete_graph_single_clique():
+    n = 5
+    adj = adjacency_from_edges(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+    assert clique_partition(adj) == [[0, 1, 2, 3, 4]]
+
+
+def test_triangle_plus_pendant():
+    adj = adjacency_from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+    cliques = clique_partition(adj)
+    verify_cliques(adj, cliques)
+    assert sorted(map(len, cliques)) == [1, 3]
+
+
+def test_two_disjoint_edges():
+    adj = adjacency_from_edges(4, [(0, 1), (2, 3)])
+    cliques = clique_partition(adj)
+    verify_cliques(adj, cliques)
+    assert len(cliques) == 2
+
+
+def test_bipartite_path_partition_valid():
+    # path 0-1-2-3: optimal cover is two edges
+    adj = adjacency_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    cliques = clique_partition(adj)
+    verify_cliques(adj, cliques)
+    assert len(cliques) == 2
+
+
+graphs = st.integers(min_value=0, max_value=14).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.sets(
+            st.tuples(
+                st.integers(0, max(n - 1, 0)),
+                st.integers(0, max(n - 1, 0)),
+            ),
+            max_size=40,
+        ),
+    )
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(graphs)
+def test_partition_is_always_valid(graph):
+    n, edges = graph
+    adj = adjacency_from_edges(n, edges) if n else []
+    cliques = clique_partition(adj)
+    verify_cliques(adj, cliques)  # disjoint, covering, truly cliques
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs)
+def test_partition_never_exceeds_vertex_count(graph):
+    n, edges = graph
+    adj = adjacency_from_edges(n, edges) if n else []
+    cliques = clique_partition(adj)
+    assert sum(len(c) for c in cliques) == n
+
+
+def test_verify_rejects_non_clique():
+    adj = adjacency_from_edges(3, [(0, 1)])
+    try:
+        verify_cliques(adj, [[0, 1, 2]])
+    except AssertionError:
+        pass
+    else:
+        raise AssertionError("expected verify_cliques to fail")
+
+
+def test_verify_rejects_missing_vertex():
+    adj = adjacency_from_edges(2, [])
+    try:
+        verify_cliques(adj, [[0]])
+    except AssertionError:
+        pass
+    else:
+        raise AssertionError("expected verify_cliques to fail")

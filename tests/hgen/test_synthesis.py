@@ -1,0 +1,191 @@
+"""Tests for the HGEN pipeline: datapath, area, timing, power, facade."""
+
+import pytest
+
+from repro.hgen import (
+    SharingAnalysis,
+    clique_partition,
+    estimate_area,
+    estimate_power,
+    estimate_timing,
+    extract_nodes,
+    synthesize,
+)
+from repro.hgen.datapath import build_datapath
+from repro.hgen.netlist import Decode, RegRead, Unit
+
+
+@pytest.fixture(scope="module")
+def risc16_model(risc16_desc):
+    return synthesize(risc16_desc)
+
+
+@pytest.fixture(scope="module")
+def spam_model(spam_desc):
+    return synthesize(spam_desc)
+
+
+# ---------------------------------------------------------------------------
+# Datapath / netlist
+# ---------------------------------------------------------------------------
+
+
+def test_netlist_has_decode_per_operation(risc16_desc, risc16_model):
+    decodes = [
+        c for c in risc16_model.netlist.cells if isinstance(c, Decode)
+        and c.base is None
+    ]
+    expected = sum(len(f.operations) for f in risc16_desc.fields)
+    assert len(decodes) == expected
+
+
+def test_netlist_units_cover_extraction_nodes(risc16_desc, risc16_model):
+    fu_sites = [
+        c for c in risc16_model.netlist.cells
+        if isinstance(c, Unit) and c.unit_class not in ("glue", "wire")
+    ]
+    fu_nodes = [
+        n for n in risc16_model.nodes
+        if not n.unit_class.startswith(("read_port", "write_port"))
+    ]
+    assert len(fu_sites) == len(fu_nodes)
+
+
+def test_sharing_reduces_instances(risc16_desc):
+    shared = synthesize(risc16_desc, share=True)
+    unshared = synthesize(risc16_desc, share=False)
+    assert shared.shared_unit_count < unshared.shared_unit_count
+    assert shared.area.functional_units < unshared.area.functional_units
+
+
+def test_sharing_reduces_register_file_ports(risc16_desc):
+    shared = synthesize(risc16_desc, share=True)
+    unshared = synthesize(risc16_desc, share=False)
+    assert (
+        shared.netlist.storages["RF"].read_ports
+        < unshared.netlist.storages["RF"].read_ports
+    )
+
+
+def test_constraints_increase_sharing(spam_desc):
+    with_c = synthesize(spam_desc, use_constraints=True)
+    without_c = synthesize(spam_desc, use_constraints=False)
+    assert with_c.shared_unit_count <= without_c.shared_unit_count
+    assert with_c.die_size <= without_c.die_size
+
+
+def test_allocation_maps_every_node(risc16_model):
+    assert set(risc16_model.allocation) == {
+        n.node_id for n in risc16_model.nodes
+    }
+
+
+def test_read_ports_counted(spam_model):
+    rf = spam_model.netlist.storages["RF"]
+    assert rf.read_ports >= 2  # a VLIW needs parallel operand reads
+    dm = spam_model.netlist.storages["DM"]
+    assert dm.read_ports >= 1 and dm.write_ports >= 1
+
+
+# ---------------------------------------------------------------------------
+# Area model
+# ---------------------------------------------------------------------------
+
+
+def test_area_breakdown_sums_to_total(risc16_desc, risc16_model):
+    area = risc16_model.area
+    recomputed = estimate_area(risc16_desc, risc16_model.netlist)
+    assert recomputed.total == pytest.approx(area.total)
+    assert area.total > area.core_total > 0
+    assert area.logic_total == pytest.approx(
+        area.functional_units + area.sharing_muxes + area.decode
+        + area.steering + area.pipeline_registers
+    )
+
+
+def test_fp_dominates_spam_area(spam_model):
+    by_class = spam_model.area.by_unit_class
+    fp_area = sum(v for k, v in by_class.items() if k.startswith("fp_"))
+    other = sum(v for k, v in by_class.items() if not k.startswith("fp_"))
+    assert fp_area > other
+
+
+def test_spam_larger_than_spam2(spam_model, spam2_desc):
+    spam2_model = synthesize(spam2_desc)
+    assert spam_model.core_die_size > 2 * spam2_model.core_die_size
+    assert spam_model.verilog_lines > spam2_model.verilog_lines
+
+
+# ---------------------------------------------------------------------------
+# Timing model
+# ---------------------------------------------------------------------------
+
+
+def test_cycle_length_positive_and_bounded(risc16_desc, risc16_model):
+    timing = estimate_timing(risc16_desc, risc16_model.netlist)
+    assert 5.0 < timing.cycle_ns < 200.0
+    assert timing.cycle_ns > timing.critical_path_ns
+
+
+def test_fp_pipeline_stages_shorten_cycle(spam_desc):
+    # SPAM's FP ops declare Cycle+Stall stages; without that inference the
+    # 22 ns multiplier would dominate the clock.
+    model = synthesize(spam_desc)
+    assert model.cycle_ns < 45.0
+
+
+def test_sharing_muxes_lengthen_cycle(risc16_desc):
+    shared = synthesize(risc16_desc, share=True)
+    unshared = synthesize(risc16_desc, share=False)
+    assert shared.cycle_ns >= unshared.cycle_ns
+
+
+# ---------------------------------------------------------------------------
+# Power model
+# ---------------------------------------------------------------------------
+
+
+def test_power_scales_with_frequency(risc16_desc, risc16_model):
+    slow = estimate_power(risc16_desc, risc16_model.netlist, 10.0)
+    fast = estimate_power(risc16_desc, risc16_model.netlist, 40.0)
+    assert fast.dynamic_mw == pytest.approx(4 * slow.dynamic_mw)
+    assert fast.static_mw == slow.static_mw
+    assert fast.total_mw > 0
+
+
+def test_power_uses_simulation_activity(risc16_desc, risc16_model):
+    from repro.arch import run_workload
+    from repro.arch.workloads import risc16_sum_loop
+
+    sim = run_workload(risc16_sum_loop())
+    with_stats = estimate_power(
+        risc16_desc, risc16_model.netlist, 30.0, stats=sim.stats
+    )
+    without = estimate_power(risc16_desc, risc16_model.netlist, 30.0)
+    assert with_stats.dynamic_mw != pytest.approx(without.dynamic_mw)
+
+
+# ---------------------------------------------------------------------------
+# Facade
+# ---------------------------------------------------------------------------
+
+
+def test_table2_metrics_populated(spam_model):
+    assert spam_model.cycle_ns > 0
+    assert spam_model.verilog_lines > 200
+    assert spam_model.die_size > spam_model.core_die_size
+    assert spam_model.synthesis_seconds >= 0
+    summary = spam_model.summary()
+    assert "SPAM" in summary and "grid cells" in summary
+
+
+def test_main_cli(tmp_path, capsys):
+    from repro.arch.risc16 import ISDL_SOURCE
+    from repro.hgen.synthesize import main
+
+    isdl = tmp_path / "r.isdl"
+    isdl.write_text(ISDL_SOURCE)
+    out = tmp_path / "r.v"
+    assert main([str(isdl), str(out)]) == 0
+    assert "module RISC16_core" in out.read_text()
+    assert main([]) == 2

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+FAST_EXAMPLES = ["quickstart.py", "vliw_dsp_kernels.py"]
+SLOW_EXAMPLES = [
+    "hardware_synthesis.py",
+    "cosimulation.py",
+    "architecture_exploration.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES + SLOW_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), path
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+    assert "MISMATCH" not in output
+    assert "Traceback" not in output
+
+
+def test_quickstart_computes_expected_result(capsys):
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "quickstart.py"), run_name="__main__"
+    )
+    output = capsys.readouterr().out
+    assert "DM[0] = 55" in output
+
+
+def test_examples_list_matches_directory():
+    scripts = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    assert scripts == set(FAST_EXAMPLES + SLOW_EXAMPLES)

@@ -1,0 +1,96 @@
+"""Whole-tool-chain round trips.
+
+The deepest invariant of the methodology: assembly text, machine words,
+decoded operations, and rendered disassembly are all views of the same
+instruction, through tools independently generated from one description.
+
+    asm text --assemble--> word --disassemble--> operands
+       ^                                             |
+       +---------- render (syntax templates) <-------+
+
+Property-tested with random operand bindings on every architecture.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ARCHITECTURES
+from repro.asm import Assembler
+from repro.encoding.signature import SignatureTable
+from repro.gensim.disassembler import DecodedOperation, Disassembler
+from repro.gensim.render import render_operation
+
+from tests.gensim.test_disassembler import operation_strategy
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_word_to_text_to_word(arch, data):
+    """render(disassemble(word)) re-assembles to a word that decodes to
+    the same operation and operands."""
+    desc = ARCHITECTURES[arch]()
+    table = SignatureTable(desc)
+    disassembler = Disassembler(desc, table)
+    assembler = Assembler(desc, table)
+
+    field_name, op_name, operands = data.draw(operation_strategy(desc))
+    word = table.encode_operation(field_name, op_name, operands)
+    decoded = disassembler.disassemble(word).operation_in(field_name)
+    text = render_operation(desc, decoded)
+    program = assembler.assemble(text + "\n")
+    redecoded = disassembler.disassemble(program.words[0])
+    # The text is field-agnostic: on SPAM, "mov R1, R2" may legally land
+    # on any of the three identical move buses.  The invariant is
+    # semantic: some field carries the same operation with the same
+    # operands (for single-instance operations this is bit-identity).
+    matches = [
+        op
+        for op in redecoded.operations
+        if op.op_name == op_name and op.operands == operands
+    ]
+    assert matches, (
+        f"{text!r} lost {field_name}.{op_name} {operands}:"
+        f" {redecoded.selection()}"
+    )
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_assembler_and_simulator_share_signature_tables(arch):
+    desc = ARCHITECTURES[arch]()
+    table = SignatureTable(desc)
+    # one table instance can serve every tool (no hidden state)
+    Assembler(desc, table)
+    Disassembler(desc, table)
+
+
+def test_compiler_output_survives_full_loop(risc16_desc):
+    """compiler -> assembler -> disassembler -> renderer -> assembler
+    yields the identical binary."""
+    from repro.codegen import Compiler, Cond, KernelBuilder, Opcode
+
+    K = KernelBuilder()
+    n = K.li(4)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, n)
+    K.binary_into(n, Opcode.SUB, n, 1)
+    K.cbr(Cond.NE, n, 0, "loop")
+    K.store(K.li(0), acc)
+    kernel = K.build()
+
+    assembler = Assembler(risc16_desc)
+    first = Compiler(risc16_desc).compile_to_words(kernel)
+    disassembler = Disassembler(risc16_desc)
+    lines = []
+    for word in first.words:
+        decoded = disassembler.disassemble(word)
+        lines.append(
+            " | ".join(
+                render_operation(risc16_desc, op)
+                for op in decoded.operations
+            )
+        )
+    second = assembler.assemble("\n".join(lines) + "\n")
+    assert second.words == first.words

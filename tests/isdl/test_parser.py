@@ -1,0 +1,309 @@
+"""Unit tests for the ISDL parser."""
+
+import pytest
+
+from repro.errors import IsdlSyntaxError
+from repro.isdl import ast, parse, rtl
+
+HEADER = '''
+processor "T"
+section format
+    word 16
+end
+'''
+
+STORAGE = '''
+section storage
+    instruction_memory IM width 16 depth 64
+    data_memory DM width 8 depth 32
+    register_file RF width 8 depth 4
+    register ACC width 8
+    program_counter PC width 6
+    alias LO = ACC[3:0]
+end
+'''
+
+
+def parse_with(extra: str) -> ast.Description:
+    return parse(HEADER + STORAGE + extra)
+
+
+MINI_FIELD = '''
+section instruction_set
+    field EX
+        operation nop()
+            encoding { bits[15:12] = 0b0000 }
+    end
+end
+'''
+
+
+def test_processor_header_and_word_width():
+    desc = parse_with(MINI_FIELD)
+    assert desc.name == "T"
+    assert desc.word_width == 16
+
+
+def test_missing_format_section_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse('processor "X"\n' + STORAGE + MINI_FIELD)
+
+
+def test_storage_kinds_and_sizes():
+    desc = parse_with(MINI_FIELD)
+    assert desc.storages["IM"].kind is ast.StorageKind.INSTRUCTION_MEMORY
+    assert desc.storages["DM"].depth == 32
+    assert desc.storages["RF"].width == 8
+    assert desc.storages["ACC"].depth is None
+    assert desc.storages["PC"].kind is ast.StorageKind.PROGRAM_COUNTER
+
+
+def test_alias_bit_range():
+    desc = parse_with(MINI_FIELD)
+    alias = desc.aliases["LO"]
+    assert (alias.storage, alias.hi, alias.lo) == ("ACC", 3, 0)
+
+
+def test_scalar_storage_with_depth_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse(HEADER + '''
+section storage
+    register ACC width 8 depth 4
+end
+''' + MINI_FIELD)
+
+
+def test_addressed_storage_without_depth_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse(HEADER + '''
+section storage
+    register_file RF width 8
+end
+''' + MINI_FIELD)
+
+
+def test_token_definitions():
+    desc = parse_with('''
+section global_definitions
+    token REG prefix "R" range 0 .. 3
+    token SIMM immediate signed width 5
+    token CC enum { EQ = 0, NE = 1 }
+end
+''' + MINI_FIELD)
+    reg = desc.tokens["REG"]
+    assert reg.kind is ast.TokenKind.PREFIXED
+    assert (reg.lo, reg.hi, reg.prefix) == (0, 3, "R")
+    simm = desc.tokens["SIMM"]
+    assert simm.signed and simm.width == 5
+    assert desc.tokens["CC"].symbols == (("EQ", 0), ("NE", 1))
+
+
+def test_operation_six_parts():
+    desc = parse_with('''
+section global_definitions
+    token REG prefix "R" range 0 .. 3
+end
+section instruction_set
+    field EX
+        operation add(d: REG, a: REG)
+            syntax "add %d, %a"
+            encoding { bits[15:12] = 0b0001; bits[11:10] = d; bits[9:8] = a }
+            action { RF[d] <- RF[a] + 1; }
+            side_effect { ACC <- 0; }
+            cost cycle 2 stall 1 size 1
+            timing latency 2 usage 2
+    end
+end
+''')
+    op = desc.operation("EX", "add")
+    assert op.syntax == "add %d, %a"
+    assert len(op.encoding) == 3
+    assert len(op.action) == 1
+    assert len(op.side_effect) == 1
+    assert op.costs == ast.Costs(cycle=2, stall=1, size=1)
+    assert op.timing == ast.Timing(latency=2, usage=2)
+
+
+def test_default_costs_and_timing():
+    desc = parse_with(MINI_FIELD)
+    op = desc.operation("EX", "nop")
+    assert op.costs == ast.Costs()
+    assert op.timing == ast.Timing()
+
+
+def test_reversed_bit_range_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse_with('''
+section instruction_set
+    field EX
+        operation nop()
+            encoding { bits[2:5] = 0b0 }
+    end
+end
+''')
+
+
+def test_rtl_if_else_and_expressions():
+    desc = parse_with('''
+section instruction_set
+    field EX
+        operation t()
+            encoding { bits[15] = 0b1 }
+            action {
+                if ACC == 0 { PC <- PC + 2; } else { PC <- PC - 1; }
+                ACC <- (ACC * 3) >> 1 ^ 0xF;
+            }
+    end
+end
+''')
+    stmts = desc.operation("EX", "t").action
+    assert isinstance(stmts[0], rtl.If)
+    assert stmts[0].orelse
+    assert isinstance(stmts[1], rtl.Assign)
+
+
+def test_ternary_and_intrinsics():
+    desc = parse_with('''
+section instruction_set
+    field EX
+        operation t()
+            encoding { bits[15] = 0b1 }
+            action { ACC <- ACC > 7 ? carry(ACC, 1, 8) : sext(ACC, 4); }
+    end
+end
+''')
+    expr = desc.operation("EX", "t").action[0].expr
+    assert isinstance(expr, rtl.Cond)
+    assert isinstance(expr.then, rtl.Call)
+    assert expr.then.func == "carry"
+
+
+def test_location_resolution_addressed_vs_scalar():
+    desc = parse_with('''
+section instruction_set
+    field EX
+        operation t()
+            encoding { bits[15] = 0b1 }
+            action { RF[1] <- ACC[3]; DM[ACC + 1] <- LO; }
+    end
+end
+''')
+    first, second = desc.operation("EX", "t").action
+    assert first.dest == rtl.StorageLV("RF", rtl.IntLit(1), None, None)
+    assert first.expr == rtl.StorageRead("ACC", None, 3, 3)
+    assert isinstance(second.dest.index, rtl.BinOp)
+    assert second.expr == rtl.StorageRead("LO", None, None, None)
+
+
+def test_unknown_name_in_rtl_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse_with('''
+section instruction_set
+    field EX
+        operation t()
+            encoding { bits[15] = 0b1 }
+            action { BOGUS <- 1; }
+    end
+end
+''')
+
+
+def test_parameter_reference_resolves():
+    desc = parse_with('''
+section global_definitions
+    token REG prefix "R" range 0 .. 3
+end
+section instruction_set
+    field EX
+        operation t(d: REG)
+            encoding { bits[15] = 0b1; bits[1:0] = d }
+            action { RF[d] <- d; }
+    end
+end
+''')
+    stmt = desc.operation("EX", "t").action[0]
+    assert stmt.dest.index == rtl.ParamRef("d")
+    assert stmt.expr == rtl.ParamRef("d")
+
+
+def test_nonterminal_with_options():
+    desc = parse_with('''
+section global_definitions
+    token REG prefix "R" range 0 .. 3
+    nonterminal SRC width 3
+        option reg(r: REG)
+            syntax "%r"
+            encoding { bits[2] = 0b0; bits[1:0] = r }
+            action { $$ <- RF[r]; }
+        option acc()
+            syntax "A"
+            encoding { bits[2] = 0b1 }
+            action { $$ <- ACC; }
+    end
+end
+section instruction_set
+    field EX
+        operation t(s: SRC)
+            encoding { bits[15] = 0b1; bits[2:0] = s }
+            action { ACC <- s; }
+    end
+end
+''')
+    nt = desc.nonterminals["SRC"]
+    assert nt.width == 3
+    assert [o.label for o in nt.options] == ["reg", "acc"]
+    assert nt.option("reg").storage_target() is not None
+    assert nt.option("reg").costs.cycle == 0  # NT default cost
+
+
+def test_constraints_forbid_and_require():
+    desc = parse_with('''
+section instruction_set
+    field A
+        operation x()
+            encoding { bits[15] = 0b1 }
+    end
+    field B
+        operation y()
+            encoding { bits[14] = 0b1 }
+    end
+end
+section constraints
+    forbid A.x & B.y
+    require A.x | ~(B.y)
+end
+''')
+    assert len(desc.constraints) == 2
+    assert not desc.instruction_valid({"A": "x", "B": "y"})
+    assert desc.instruction_valid({"A": "x"})
+
+
+def test_optional_section_attributes():
+    desc = parse_with(MINI_FIELD + '''
+section optional
+    attribute halt_flag "H"
+    attribute technology "lsi10k"
+end
+''')
+    assert desc.attributes["halt_flag"] == "H"
+    assert desc.attributes["technology"] == "lsi10k"
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse(HEADER + "section bogus end")
+
+
+def test_empty_field_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse_with("section instruction_set\n    field EX\n    end\nend")
+
+
+def test_empty_nonterminal_rejected():
+    with pytest.raises(IsdlSyntaxError):
+        parse_with('''
+section global_definitions
+    nonterminal N width 2
+    end
+end
+''' + MINI_FIELD)

@@ -1,0 +1,103 @@
+"""Round-trip tests for the ISDL pretty-printer.
+
+The exploration loop rewrites descriptions as ASTs and prints them back to
+ISDL text; ``parse(print(desc))`` must reproduce the description.
+"""
+
+import pytest
+
+from repro.arch import ARCHITECTURES
+from repro.isdl import load_string, print_description
+
+
+def _strip(node):
+    """Recursively drop source locations so structures compare equal."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        changes = {}
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if f.name == "location":
+                changes[f.name] = None
+            else:
+                changes[f.name] = _strip(value)
+        return dataclasses.replace(node, **changes)
+    if isinstance(node, tuple):
+        return tuple(_strip(v) for v in node)
+    if isinstance(node, list):
+        return [_strip(v) for v in node]
+    return node
+
+
+def normalize(raw_desc):
+    """A comparable structural summary of a description (locations ignored)."""
+
+    class _View:
+        pass
+
+    desc = _View()
+    desc.name = raw_desc.name
+    desc.word_width = raw_desc.word_width
+    desc.tokens = {n: _strip(t) for n, t in raw_desc.tokens.items()}
+    desc.storages = raw_desc.storages
+    desc.aliases = raw_desc.aliases
+    desc.fields = [_strip(f) for f in raw_desc.fields]
+    desc.nonterminals = {
+        n: _strip(nt) for n, nt in raw_desc.nonterminals.items()
+    }
+    desc.constraints = raw_desc.constraints
+    desc.attributes = raw_desc.attributes
+    return {
+        "name": desc.name,
+        "word": desc.word_width,
+        "tokens": {n: (t.kind, t.prefix, t.lo, t.hi, t.signed, t.width,
+                       t.symbols)
+                   for n, t in desc.tokens.items()},
+        "storages": {n: (s.kind, s.width, s.depth)
+                     for n, s in desc.storages.items()},
+        "aliases": {n: (a.storage, a.index, a.hi, a.lo)
+                    for n, a in desc.aliases.items()},
+        "fields": [
+            (f.name, [(op.name, op.params, op.encoding, op.action,
+                       op.side_effect, op.costs, op.timing)
+                      for op in f.operations])
+            for f in desc.fields
+        ],
+        "nts": {
+            n: (nt.width, [(o.label, o.params, o.encoding, o.action,
+                            o.side_effect, o.costs, o.timing)
+                           for o in nt.options])
+            for n, nt in desc.nonterminals.items()
+        },
+        "nconstraints": len(desc.constraints),
+        "attributes": dict(desc.attributes),
+    }
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_roundtrip_architecture(arch):
+    desc = ARCHITECTURES[arch]()
+    text = print_description(desc)
+    redesc = load_string(text, filename=f"{arch}-roundtrip.isdl")
+    assert normalize(redesc) == normalize(desc)
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_print_is_stable(arch):
+    desc = ARCHITECTURES[arch]()
+    once = print_description(desc)
+    twice = print_description(load_string(once))
+    assert once == twice
+
+
+def test_constraints_semantics_survive_roundtrip(spam_desc):
+    text = print_description(spam_desc)
+    redesc = load_string(text)
+    for selection in (
+        {"LSU": "ld", "MV3": "mov"},
+        {"LSU": "st", "MV3": "mov"},
+        {"FP2": "fdiv", "INT": "jmp"},
+    ):
+        assert not redesc.instruction_valid(selection)
+    assert redesc.instruction_valid({"LSU": "ld", "MV1": "mov"})

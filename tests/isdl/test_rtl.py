@@ -1,0 +1,91 @@
+"""Unit tests for RTL AST helpers (traversal, formatting)."""
+
+from repro.isdl import rtl
+
+
+def build_block():
+    # if a == 0 { RF[i] <- DM[j] + 1; } else { ACC <- ~ACC; }
+    return (
+        rtl.If(
+            rtl.BinOp("==", rtl.ParamRef("a"), rtl.IntLit(0)),
+            then=(
+                rtl.Assign(
+                    rtl.StorageLV("RF", rtl.ParamRef("i")),
+                    rtl.BinOp(
+                        "+",
+                        rtl.StorageRead("DM", rtl.ParamRef("j")),
+                        rtl.IntLit(1),
+                    ),
+                ),
+            ),
+            orelse=(
+                rtl.Assign(
+                    rtl.StorageLV("ACC"),
+                    rtl.UnOp("~", rtl.StorageRead("ACC")),
+                ),
+            ),
+        ),
+        rtl.Assign(rtl.StorageLV("PC"), rtl.ParamRef("t")),
+    )
+
+
+def test_walk_stmts_recurses_into_branches():
+    stmts = list(rtl.walk_stmts(build_block()))
+    assigns = [s for s in stmts if isinstance(s, rtl.Assign)]
+    assert len(assigns) == 3
+
+
+def test_storages_read_and_written():
+    block = build_block()
+    assert rtl.storages_read(block) == {"DM", "ACC"}
+    assert rtl.storages_written(block) == {"RF", "ACC", "PC"}
+
+
+def test_params_used():
+    assert rtl.params_used(build_block()) == {"a", "i", "j", "t"}
+
+
+def test_walk_exprs_preorder():
+    expr = rtl.BinOp("+", rtl.IntLit(1), rtl.UnOp("-", rtl.IntLit(2)))
+    nodes = list(rtl.walk_exprs(expr))
+    assert isinstance(nodes[0], rtl.BinOp)
+    assert isinstance(nodes[1], rtl.IntLit)
+    assert isinstance(nodes[2], rtl.UnOp)
+
+
+def test_format_expr_round_readable():
+    expr = rtl.Cond(
+        rtl.BinOp("==", rtl.StorageRead("Z"), rtl.IntLit(1)),
+        rtl.Call("sext", (rtl.ParamRef("t"), rtl.IntLit(8))),
+        rtl.IntLit(0),
+    )
+    text = rtl.format_expr(expr)
+    assert "Z" in text and "sext(t, 8)" in text and "?" in text
+
+
+def test_format_stmt_if_else():
+    text = rtl.format_stmt(build_block()[0])
+    assert text.startswith("if ")
+    assert "} else {" in text
+    assert text.rstrip().endswith("}")
+
+
+def test_format_location_slice_and_index():
+    lv = rtl.StorageLV("CCR", None, 3, 1)
+    assert rtl.format_lvalue(lv) == "CCR[3:1]"
+    lv = rtl.StorageLV("RF", rtl.IntLit(2), 7, 7)
+    assert rtl.format_lvalue(lv) == "RF[2][7]"
+
+
+def test_format_stmt_indents_nested_bodies():
+    text = rtl.format_stmt(build_block()[0], indent=1)
+    lines = text.splitlines()
+    assert lines[0].startswith("    if ")
+    assert any(line.startswith("        ") for line in lines[1:])
+
+
+def test_children_of_unknown_node_raises():
+    import pytest
+
+    with pytest.raises(TypeError):
+        list(rtl.walk_exprs("not a node"))

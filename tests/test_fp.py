@@ -1,0 +1,118 @@
+"""Unit + property tests for the bit-true IEEE-754 helpers."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import fp
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=32
+)
+any_bits = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(finite_floats)
+def test_roundtrip_float_bits(value):
+    assert fp.bits_to_float(fp.float_to_bits(value)) == value
+
+
+@given(finite_floats, finite_floats)
+def test_fadd_matches_double_rounded_reference(a, b):
+    # width=32 floats are exact binary32 values; the binary32 sum is the
+    # double-precision sum rounded once (float_to_bits handles overflow
+    # to infinity the way IEEE round-to-nearest does).
+    expected = fp.float_to_bits(a + b)
+    got = fp.fadd(fp.float_to_bits(a), fp.float_to_bits(b))
+    assert got == expected
+
+
+@given(finite_floats, finite_floats)
+def test_fmul_commutes(a, b):
+    x, y = fp.float_to_bits(a), fp.float_to_bits(b)
+    assert fp.fmul(x, y) == fp.fmul(y, x)
+
+
+@given(any_bits)
+def test_fneg_is_involution(bits):
+    assert fp.fneg(fp.fneg(bits)) == bits
+
+
+@given(any_bits)
+def test_fabs_clears_sign(bits):
+    result = fp.fabs_(bits)
+    assert result & 0x80000000 == 0
+    assert result & 0x7FFFFFFF == bits & 0x7FFFFFFF
+
+
+def test_known_values():
+    one = fp.float_to_bits(1.0)
+    two = fp.float_to_bits(2.0)
+    assert one == 0x3F800000
+    assert fp.fadd(one, one) == two
+    assert fp.fmul(two, two) == fp.float_to_bits(4.0)
+    assert fp.fsub(two, one) == one
+    assert fp.fdiv(one, two) == fp.float_to_bits(0.5)
+
+
+def test_division_by_zero_gives_signed_infinity():
+    one = fp.float_to_bits(1.0)
+    zero = fp.float_to_bits(0.0)
+    assert fp.fdiv(one, zero) == 0x7F800000
+    assert fp.fdiv(fp.fneg(one), zero) == 0xFF800000
+
+
+def test_zero_over_zero_is_nan():
+    zero = fp.float_to_bits(0.0)
+    assert fp.is_nan_bits(fp.fdiv(zero, zero))
+
+
+def test_overflow_rounds_to_infinity():
+    big = fp.float_to_bits(3.0e38)
+    assert fp.fmul(big, big) == 0x7F800000
+
+
+def test_fcmp_ordering():
+    one = fp.float_to_bits(1.0)
+    two = fp.float_to_bits(2.0)
+    nan = 0x7FC00000
+    assert fp.fcmp(one, two) == -1
+    assert fp.fcmp(two, one) == 1
+    assert fp.fcmp(one, one) == 0
+    assert fp.fcmp(one, nan) == -2
+
+
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_itof_ftoi_roundtrip_within_precision(value):
+    bits = fp.itof(value & 0xFFFFFFFF, 32)
+    back = fp.ftoi(bits, 32)
+    if back & (1 << 31):
+        back -= 1 << 32
+    # binary32 has 24 bits of precision; small ints round-trip exactly.
+    if abs(value) < (1 << 24):
+        assert back == value
+
+
+def test_ftoi_saturates():
+    big = fp.float_to_bits(1.0e10)
+    assert fp.ftoi(big, 16) == 0x7FFF
+    assert fp.ftoi(fp.fneg(big), 16) == 0x8000
+
+
+def test_ftoi_truncates_toward_zero():
+    assert fp.ftoi(fp.float_to_bits(2.9), 16) == 2
+    neg = fp.ftoi(fp.float_to_bits(-2.9), 16)
+    assert neg == (-2) & 0xFFFF
+
+
+def test_ftoi_of_nan_is_zero():
+    assert fp.ftoi(0x7FC00000, 16) == 0
+
+
+def test_is_nan_bits():
+    assert fp.is_nan_bits(0x7FC00000)
+    assert not fp.is_nan_bits(0x7F800000)  # infinity
+    assert not fp.is_nan_bits(fp.float_to_bits(1.0))

@@ -1,0 +1,130 @@
+"""Tests for the netlist-level simulator."""
+
+import pytest
+
+from repro.asm import Assembler
+from repro.errors import SimulationError
+from repro.hgen import synthesize
+from repro.vsim import NetlistSimulator
+
+
+@pytest.fixture(scope="module")
+def model(risc16_desc):
+    return synthesize(risc16_desc)
+
+
+def make_sim(desc, model, source):
+    hw = NetlistSimulator(desc, model.netlist)
+    program = Assembler(desc).assemble(source)
+    hw.load_words(program.words, program.origin)
+    return hw
+
+
+def test_single_instruction(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, "ldi r3, #9\nhalt\n")
+    hw.run()
+    assert hw.read("RF", 3) == 9
+
+
+def test_pc_increments_each_cycle(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, "nop\nnop\nhalt\n")
+    hw.step()
+    assert hw.read("PC") == 1
+    hw.step()
+    assert hw.read("PC") == 2
+
+
+def test_branch_updates_pc(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, "jmp 2\nnop\nhalt\n")
+    hw.run()
+    assert hw.cycle == 2  # jmp + halt
+
+
+def test_loop_executes(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, """
+        ldi r0, #3
+        ldi r1, #0
+loop:   add r1, r1, r0
+        sub r0, r0, #1
+        bne loop - .
+        halt
+""")
+    hw.run()
+    assert hw.read("RF", 1) == 6
+
+
+def test_memory_write_and_read(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, """
+        ldi r0, #77
+        ldi r1, #5
+        st (r1), r0
+        ld r2, (r1)
+        halt
+""")
+    hw.run()
+    assert hw.read("DM", 5) == 77
+    assert hw.read("RF", 2) == 77
+
+
+def test_side_effect_flags(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, "ldi r0, #1\nsub r1, r0, #1\nhalt\n")
+    hw.run()
+    # result 0 -> Z (CCR bit 1) set
+    assert (hw.read("CCR") >> 1) & 1 == 1
+
+
+def test_run_without_halt_raises(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, "loop: jmp loop\n")
+    with pytest.raises(SimulationError):
+        hw.run(max_cycles=50)
+
+
+def test_write_masks_to_storage_width(risc16_desc, model):
+    hw = NetlistSimulator(risc16_desc, model.netlist)
+    hw.write("RF", 0x12345, 0)
+    assert hw.read("RF", 0) == 0x2345
+
+
+def test_dump_snapshot(risc16_desc, model):
+    hw = make_sim(risc16_desc, model, "ldi r0, #1\nhalt\n")
+    hw.run()
+    snap = hw.dump()
+    assert snap["RF"][0] == 1
+    assert snap["HALTED"] == 1
+
+
+def test_latency_staging_in_hardware(spam_desc):
+    model = synthesize(spam_desc)
+    hw = NetlistSimulator(spam_desc, model.netlist)
+    program = Assembler(spam_desc).assemble("""
+        ldi r1, #3
+        ldi r2, #4
+        add r3, r1, r2      ; integer add, latency 1
+        fadd r4, r1, r1     ; latency 2: commits one cycle later
+        inop
+        halt
+""")
+    hw.load_words(program.words, program.origin)
+    hw.run()
+    assert hw.read("RF", 3) == 7
+
+
+def test_shared_and_unshared_netlists_agree(risc16_desc):
+    source = """
+        ldi r0, #10
+        ldi r1, #0
+loop:   add r1, r1, r0
+        sub r0, r0, #1
+        bne loop - .
+        st (r2), r1
+        halt
+"""
+    results = []
+    for share in (False, True):
+        model = synthesize(risc16_desc, share=share)
+        hw = NetlistSimulator(risc16_desc, model.netlist)
+        program = Assembler(risc16_desc).assemble(source)
+        hw.load_words(program.words, program.origin)
+        hw.run()
+        results.append(hw.dump())
+    assert results[0] == results[1]
