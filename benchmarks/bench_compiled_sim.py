@@ -15,12 +15,19 @@ import pytest
 from conftest import record
 from _kernels import preload_for, speed_program
 
-from repro.gensim.compiled import CompiledSimulator
-from repro.gensim.xsim import XSim
+from repro.gensim import simulator_for
 
 ARCH = "spam"
 
 _speeds = {}
+
+#: result-table mode -> Simulator-protocol backend name.  All three
+#: generations run through the same protocol surface — no special-casing.
+_BACKENDS = {
+    "interpretive": "interpretive",
+    "generated": "xsim",
+    "compiled_code": "compiled",
+}
 
 
 def _preload(sim):
@@ -29,31 +36,20 @@ def _preload(sim):
             sim.write(storage, value, index)
 
 
-def _run_xsim(core):
+def _run(backend):
     desc, program = speed_program(ARCH)
-    sim = XSim(desc, core=core)
+    sim = simulator_for(desc, backend)
     _preload(sim)
     sim.load_words(program.words, program.origin)
     sim.run_to_completion()
     return sim.stats.cycles
 
 
-def _run_compiled():
-    desc, program = speed_program(ARCH)
-    sim = CompiledSimulator(desc)
-    _preload(sim)
-    sim.load_words(program.words, program.origin)
-    return sim.run().cycles
-
-
 @pytest.mark.parametrize(
     "mode", ["interpretive", "generated", "compiled_code"]
 )
 def test_simulator_generations(benchmark, mode):
-    if mode == "compiled_code":
-        cycles = benchmark(_run_compiled)
-    else:
-        cycles = benchmark(lambda: _run_xsim(mode))
+    cycles = benchmark(lambda: _run(_BACKENDS[mode]))
     cps = cycles / benchmark.stats.stats.mean
     _speeds[mode] = cps
     labels = {

@@ -3,17 +3,23 @@
 One full turn of the crank the paper's methodology enables: retarget the
 compiler, simulate, synthesize, cost, transform, repeat.  Measured: the
 wall-clock of a complete multi-candidate exploration (the rapid-evaluation
-claim of §1) and the cost improvement it finds when specialising the
-4-way FP SPAM for an integer workload.
+claim of §1), the cost improvement it finds when specialising the 4-way FP
+SPAM for an integer workload, and the speedup of the parallel
+cache-backed evaluation engine over the seed's serial from-scratch path —
+with bit-true identical trajectories.
 """
+
+import time
 
 import pytest
 
 from conftest import record
 
 from repro.arch import description_for
+from repro.cache import ArtifactCache
 from repro.codegen import Cond, KernelBuilder, Opcode
-from repro.explore import CostWeights, Explorer
+from repro.explore import CostWeights, Explorer, ParallelEvaluator
+from repro.isdl import fingerprint
 
 
 def _kernels():
@@ -74,3 +80,68 @@ def test_exploration_loop(benchmark):
     )
     assert log.improvement > 1.0
     assert best.die_size < first.die_size
+
+
+def test_parallel_engine_speedup(benchmark):
+    """Serial-vs-parallel and cold-vs-warm-cache engine comparison.
+
+    The same sweep runs three ways: the seed's serial no-cache path, the
+    parallel engine with a cold cache, and the parallel engine re-using
+    that cache (the steady state inside a long exploration campaign).
+    Results must be bit-true identical; the warm engine must be ≥2x
+    faster than the seed path.
+    """
+    kernels = _kernels()
+    weights = CostWeights(1.0, 0.5, 0.3)
+    initial = description_for("spam")
+
+    def sweep(explorer):
+        start = time.perf_counter()
+        log = explorer.explore(initial, max_iterations=3)
+        return log, time.perf_counter() - start
+
+    serial = Explorer(
+        kernels, weights,
+        evaluator=ParallelEvaluator(
+            kernels, weights=weights, cache=None, mode="serial"
+        ),
+    )
+    serial_log, serial_s = sweep(serial)
+
+    cache = ArtifactCache()
+    cold_log, cold_s = sweep(Explorer(kernels, weights, cache=cache))
+    warm_log = benchmark.pedantic(
+        lambda: Explorer(kernels, weights, cache=cache).explore(
+            initial, max_iterations=3
+        ),
+        rounds=2, iterations=1,
+    )
+    warm_s = benchmark.stats.stats.mean
+
+    # bit-true: same chosen architecture, same cycle counts, same path
+    for log in (cold_log, warm_log):
+        assert fingerprint(log.best.desc) == fingerprint(serial_log.best.desc)
+        assert log.best.evaluation.cycles == serial_log.best.evaluation.cycles
+        assert [c.derived_by for c in log.accepted] == [
+            c.derived_by for c in serial_log.accepted
+        ]
+        assert not log.errors
+
+    warm_speedup = serial_s / warm_s
+    record(
+        "Parallel cache-backed exploration engine",
+        f"- seed serial path: {serial_s:.2f} s;"
+        f" parallel cold cache: {cold_s:.2f} s;"
+        f" parallel warm cache: {warm_s:.3f} s"
+        f" (**{warm_speedup:.1f}x** vs seed)",
+    )
+    record(
+        "Parallel cache-backed exploration engine",
+        f"- identical trajectories, best = {serial_log.best.desc.name},"
+        f" {serial_log.best.evaluation.cycles} cycles;"
+        f" {cache.stats.hits} cache hits /"
+        f" {cache.stats.misses} misses"
+        f" ({cache.stats.hit_rate * 100:.0f}%)",
+    )
+    assert warm_speedup >= 2.0
+    assert cache.stats.hits > 0

@@ -16,6 +16,7 @@ SPAM 4-way FP VLIW, the explorer:
 Run:  python examples/architecture_exploration.py
 """
 
+from repro.cache import ArtifactCache
 from repro.codegen import Cond, KernelBuilder, Opcode
 from repro.arch import description_for
 from repro.explore import (
@@ -75,7 +76,11 @@ def main() -> None:
     kernels = [dot_product_kernel(), block_move_kernel()]
     # an embedded cost function: runtime matters, but so do silicon and power
     weights = CostWeights(runtime=1.0, area=0.5, power=0.4)
-    explorer = Explorer(kernels, weights)
+    # the parallel cache-backed engine: candidate evaluations fan out over
+    # a worker pool and every generated artifact is memoized by the
+    # description's structural fingerprint
+    cache = ArtifactCache()
+    explorer = Explorer(kernels, weights, cache=cache)
 
     initial = description_for("spam")
     print(f"initial architecture: {initial.name}"
@@ -97,6 +102,8 @@ def main() -> None:
     print(head)
     print(f"... ({len(text.splitlines())} lines total — every tool"
           " regenerates from this single document)")
+    print()
+    print(cache.stats.report())
 
 
 if __name__ == "__main__":

@@ -18,19 +18,31 @@ Quickstart::
 """
 
 from .asm import AssembledProgram, Assembler, assemble
-from .gensim import XSim, generate_simulator
+from .cache import ArtifactCache, CacheStats
+from .gensim import Simulator, XSim, generate_simulator
 from .hgen import HardwareModel, synthesize
-from .isdl import check, load_file, load_string, parse, print_description
+from .isdl import (
+    check,
+    fingerprint,
+    load_file,
+    load_string,
+    parse,
+    print_description,
+)
 from .vsim import NetlistSimulator, cosimulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssembledProgram",
     "Assembler",
     "assemble",
+    "ArtifactCache",
+    "CacheStats",
+    "Simulator",
     "XSim",
     "generate_simulator",
+    "fingerprint",
     "HardwareModel",
     "synthesize",
     "check",

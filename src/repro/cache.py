@@ -1,0 +1,235 @@
+"""Content-addressed artifact cache for the exploration tool chain.
+
+Every box of the paper's Figure-1 loop regenerates from the single ISDL
+description: signature tables, simulator cores, assembled workload
+binaries, and synthesized hardware models.  During exploration the same
+description (or large parts of it) is evaluated over and over — the
+incumbent is re-simulated against new candidates, rejected candidates
+reappear in later sweeps, and benchmark reruns repeat whole trajectories.
+This module memoizes those artifacts behind a structural fingerprint
+(:func:`repro.isdl.fingerprint`) so repeated work is a dictionary lookup.
+
+Two layers:
+
+* an in-memory LRU (always on) — bounded by ``max_entries``, shared by
+  every tool that accepts a ``cache=`` handle;
+* an optional on-disk pickle layer (``disk_path=``) for artifacts that
+  survive pickling (assembled programs, whole evaluations), which makes
+  warm-cache state persistent across processes and runs.
+
+The cache is thread-safe; builders run outside the lock, so two threads
+racing on the same key may both build (last store wins) but never corrupt
+the table.  All disk I/O is best-effort: a corrupt or unreadable pickle is
+treated as a miss and rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["ArtifactCache", "CacheStats", "kernel_fingerprint"]
+
+
+def kernel_fingerprint(kernel) -> str:
+    """Stable digest of an IR kernel (dataclass reprs are deterministic)."""
+    payload = f"{kernel.name}|{kernel.ops!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, total and per artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    hits_by_kind: Counter = field(default_factory=Counter)
+    misses_by_kind: Counter = field(default_factory=Counter)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def report(self) -> str:
+        lines = [
+            f"cache: {self.hits} hits / {self.misses} misses"
+            f" ({self.hit_rate * 100:.1f}% hit rate),"
+            f" {self.evictions} evictions, {self.disk_hits} from disk"
+        ]
+        for kind in sorted(set(self.hits_by_kind) | set(self.misses_by_kind)):
+            lines.append(
+                f"  {kind:12s} {self.hits_by_kind[kind]:5d} hit"
+                f" {self.misses_by_kind[kind]:5d} miss"
+            )
+        return "\n".join(lines)
+
+
+class ArtifactCache:
+    """LRU artifact cache keyed by ``(kind, key)``.
+
+    The generic interface is :meth:`get_or_build`; the typed helpers below
+    it encode the key conventions used across the tool chain so callers
+    (metrics, the parallel evaluator, benchmarks) agree on what a cache
+    entry means.
+    """
+
+    #: artifact kinds that survive pickling and may go to the disk layer
+    PICKLABLE_KINDS = frozenset({"program", "evaluation"})
+
+    def __init__(self, max_entries: int = 512,
+                 disk_path: Optional[str] = None):
+        self.max_entries = max_entries
+        self.disk_path = disk_path
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        if disk_path:
+            os.makedirs(disk_path, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Generic interface
+    # ------------------------------------------------------------------
+
+    def get_or_build(self, kind: str, key: Hashable,
+                     builder: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``(kind, key)`` or build it."""
+        full_key = (kind, key)
+        with self._lock:
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+                self.stats.hits += 1
+                self.stats.hits_by_kind[kind] += 1
+                return self._entries[full_key]
+        value, from_disk = self._disk_load(kind, key)
+        if not from_disk:
+            value = builder()
+        with self._lock:
+            if from_disk:
+                self.stats.hits += 1
+                self.stats.hits_by_kind[kind] += 1
+                self.stats.disk_hits += 1
+            else:
+                self.stats.misses += 1
+                self.stats.misses_by_kind[kind] += 1
+            self._store(full_key, value)
+        if not from_disk:
+            self._disk_save(kind, key, value)
+        return value
+
+    def peek(self, kind: str, key: Hashable) -> Optional[Any]:
+        """Non-counting lookup (memory layer only); None on miss."""
+        with self._lock:
+            return self._entries.get((kind, key))
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _store(self, full_key: Tuple[str, Hashable], value: Any) -> None:
+        self._entries[full_key] = value
+        self._entries.move_to_end(full_key)
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Disk layer (best-effort, picklable kinds only)
+    # ------------------------------------------------------------------
+
+    def _disk_file(self, kind: str, key: Hashable) -> str:
+        digest = hashlib.sha256(repr((kind, key)).encode()).hexdigest()
+        return os.path.join(self.disk_path, f"{kind}-{digest[:32]}.pkl")
+
+    def _disk_load(self, kind: str, key: Hashable) -> Tuple[Any, bool]:
+        if not self.disk_path or kind not in self.PICKLABLE_KINDS:
+            return None, False
+        try:
+            with open(self._disk_file(kind, key), "rb") as handle:
+                return pickle.load(handle), True
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None, False
+
+    def _disk_save(self, kind: str, key: Hashable, value: Any) -> None:
+        if not self.disk_path or kind not in self.PICKLABLE_KINDS:
+            return
+        path = self._disk_file(kind, key)
+        try:
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(tmp, path)
+        except (OSError, pickle.PickleError, TypeError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Typed helpers — the key conventions of the tool chain
+    # ------------------------------------------------------------------
+
+    def description_fingerprint(self, desc) -> str:
+        """Fingerprint a description (uncached; printing is cheap)."""
+        from .isdl import fingerprint
+
+        return fingerprint(desc)
+
+    def signature_table(self, desc, fp: Optional[str] = None):
+        """Memoized :class:`~repro.encoding.signature.SignatureTable`."""
+        from .encoding.signature import SignatureTable
+
+        fp = fp or self.description_fingerprint(desc)
+        return self.get_or_build(
+            "sigtable", fp, lambda: SignatureTable(desc)
+        )
+
+    def fast_core(self, desc, fp: Optional[str] = None):
+        """Memoized :class:`~repro.gensim.fastcore.FastCore`.
+
+        A FastCore is stateless between runs (it only caches compiled
+        per-operation routines), so one instance serves every simulator
+        generated for the same description.
+        """
+        from .gensim.fastcore import FastCore
+
+        fp = fp or self.description_fingerprint(desc)
+        return self.get_or_build("fastcore", fp, lambda: FastCore(desc))
+
+    def assembled(self, desc, kernel, builder: Callable[[], Any],
+                  fp: Optional[str] = None):
+        """Memoized assembled workload binary for (description, kernel)."""
+        fp = fp or self.description_fingerprint(desc)
+        return self.get_or_build(
+            "program", (fp, kernel_fingerprint(kernel)), builder
+        )
+
+    def synthesized(self, desc, fp: Optional[str] = None, *,
+                    share: bool = True, use_constraints: bool = True):
+        """Memoized :func:`repro.hgen.synthesize` hardware model."""
+        from .hgen import synthesize
+
+        fp = fp or self.description_fingerprint(desc)
+        return self.get_or_build(
+            "synth", (fp, share, use_constraints),
+            lambda: synthesize(desc, share=share,
+                               use_constraints=use_constraints),
+        )
+
+    def evaluation(self, key: Hashable, builder: Callable[[], Any]):
+        """Memoized whole-candidate evaluation (see explore.metrics)."""
+        return self.get_or_build("evaluation", key, builder)

@@ -1,7 +1,8 @@
 """Architecture exploration by iterative improvement (paper Fig. 1)."""
 
 from .explorer import Candidate, ExplorationLog, Explorer
-from .metrics import CostWeights, Evaluation, evaluate
+from .metrics import CostWeights, Evaluation, evaluate, evaluation_key
+from .parallel import EvalRequest, EvalResult, ParallelEvaluator
 from .report import evaluation_table, exploration_report
 from . import transforms
 
@@ -12,6 +13,10 @@ __all__ = [
     "CostWeights",
     "Evaluation",
     "evaluate",
+    "evaluation_key",
+    "EvalRequest",
+    "EvalResult",
+    "ParallelEvaluator",
     "evaluation_table",
     "exploration_report",
     "transforms",

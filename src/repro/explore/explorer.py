@@ -14,18 +14,28 @@ Starting from an initial description, each iteration:
 Every candidate is a complete ISDL description, so the whole tool chain
 (compiler, assembler, ILS, HGEN) regenerates automatically each iteration —
 the property the paper argues makes exploration practical at all.
+
+Candidate measurements are independent, so the explorer batches each
+round's proposals through a :class:`~repro.explore.parallel.ParallelEvaluator`:
+they fan out over a worker pool, generated artifacts are memoized in a
+shared :class:`~repro.cache.ArtifactCache`, and a candidate whose
+evaluation blows up is recorded in :attr:`ExplorationLog.errors` instead
+of killing the sweep.  Results are deterministic — identical trajectories
+and cycle counts whatever the pool mode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..cache import ArtifactCache
 from ..codegen.ir import Kernel
 from ..errors import ExplorationError, ReproError
 from ..isdl import ast
 from . import transforms
-from .metrics import CostWeights, Evaluation, evaluate
+from .metrics import CostWeights, Evaluation
+from .parallel import EvalRequest, EvalResult, ParallelEvaluator
 
 
 @dataclass
@@ -36,7 +46,7 @@ class Candidate:
     evaluation: Evaluation
     derived_by: str = "initial"
 
-    def cost(self, weights: CostWeights) -> float:
+    def cost(self, weights: Optional[CostWeights] = None) -> float:
         return self.evaluation.cost(weights)
 
 
@@ -47,6 +57,7 @@ class ExplorationLog:
     weights: CostWeights
     accepted: List[Candidate] = field(default_factory=list)
     rejected: List[Candidate] = field(default_factory=list)
+    errors: List[EvalResult] = field(default_factory=list)
     iterations: int = 0
 
     @property
@@ -68,7 +79,15 @@ class ExplorationLog:
 
 
 class Explorer:
-    """Iterative-improvement search over ISDL descriptions."""
+    """Iterative-improvement search over ISDL descriptions.
+
+    The heavy lifting — measuring candidates — goes through *evaluator*
+    (built on demand when not supplied): a worker pool plus an artifact
+    cache, warm-shared between iterations and across `explore` calls on
+    the same instance.  Pass ``parallel="serial"`` and ``cache=None`` via
+    a hand-built :class:`ParallelEvaluator` to reproduce the original
+    one-at-a-time engine exactly.
+    """
 
     def __init__(
         self,
@@ -76,17 +95,35 @@ class Explorer:
         weights: Optional[CostWeights] = None,
         max_candidates_per_round: int = 12,
         utilization_threshold: float = 0.05,
+        *,
+        cache: Optional[ArtifactCache] = None,
+        evaluator: Optional[ParallelEvaluator] = None,
+        parallel: str = "auto",
+        max_workers: Optional[int] = None,
     ):
         self.kernels = list(kernels)
         self.weights = weights or CostWeights()
         self.max_candidates_per_round = max_candidates_per_round
         self.utilization_threshold = utilization_threshold
+        if evaluator is None:
+            evaluator = ParallelEvaluator(
+                self.kernels,
+                weights=self.weights,
+                cache=cache if cache is not None else ArtifactCache(),
+                mode=parallel,
+                max_workers=max_workers,
+            )
+        self.evaluator = evaluator
+
+    @property
+    def cache(self) -> Optional[ArtifactCache]:
+        return self.evaluator.cache
 
     # ------------------------------------------------------------------
 
     def evaluate(self, desc: ast.Description,
                  derived_by: str = "initial") -> Candidate:
-        evaluation = evaluate(desc, self.kernels)
+        evaluation = self.evaluator.evaluate(desc)
         return Candidate(desc, evaluation, derived_by)
 
     def explore(self, initial: ast.Description,
@@ -102,12 +139,20 @@ class Explorer:
         log.accepted.append(incumbent)
         for _ in range(max_iterations):
             log.iterations += 1
+            requests = [
+                EvalRequest(desc, derived_by=how)
+                for desc, how in self._proposals(incumbent)
+            ]
             best_next: Optional[Candidate] = None
-            for desc, how in self._proposals(incumbent):
-                try:
-                    candidate = self.evaluate(desc, derived_by=how)
-                except ReproError:
+            for result in self.evaluator.evaluate_many(requests):
+                if not result.ok:
+                    log.errors.append(result)
                     continue
+                candidate = Candidate(
+                    requests[result.index].desc,
+                    result.evaluation,
+                    result.derived_by,
+                )
                 if not candidate.evaluation.feasible:
                     log.rejected.append(candidate)
                     continue

@@ -6,20 +6,28 @@ on the generated ILS (cycle counts + utilization statistics), synthesize the
 hardware model with HGEN (cycle length, die size), estimate power from the
 observed activity, and fold everything into a scalar cost for the
 iterative-improvement search.
+
+When handed a :class:`repro.cache.ArtifactCache`, the pipeline memoizes
+every generated artifact by the description's structural fingerprint —
+signature tables, fast cores, assembled workload binaries, synthesized
+hardware models, and whole evaluations — so re-measuring a known candidate
+(the common case inside an exploration sweep) costs a lookup instead of a
+tool-chain run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from ..cache import ArtifactCache, kernel_fingerprint
 from ..codegen import Compiler
 from ..codegen.ir import Kernel
 from ..errors import CodegenError, ReproError
 from ..gensim.stats import SimulationStats
 from ..gensim.xsim import XSim
-from ..hgen import estimate_power, synthesize
-from ..isdl import ast
+from ..hgen import estimate_power
+from ..isdl import ast, fingerprint
 
 
 @dataclass
@@ -53,6 +61,8 @@ class Evaluation:
     synthesis_seconds: float = 0.0
     stats: Optional[SimulationStats] = None
     per_kernel_cycles: Dict[str, int] = field(default_factory=dict)
+    weights: Optional[CostWeights] = None
+    fingerprint: str = ""
 
     @property
     def runtime_us(self) -> float:
@@ -62,7 +72,8 @@ class Evaluation:
     def clock_mhz(self) -> float:
         return 1000.0 / self.cycle_ns if self.cycle_ns else 0.0
 
-    def cost(self, weights: CostWeights) -> float:
+    def cost(self, weights: Optional[CostWeights] = None) -> float:
+        weights = weights or self.weights or CostWeights()
         if not self.feasible:
             return float("inf")
         return (
@@ -81,30 +92,90 @@ class Evaluation:
         )
 
 
+def evaluation_key(desc: ast.Description, kernels: Sequence[Kernel],
+                   max_steps: int, fp: Optional[str] = None):
+    """The cache key identifying one candidate measurement."""
+    fp = fp or fingerprint(desc)
+    return (fp, tuple(kernel_fingerprint(k) for k in kernels), max_steps)
+
+
 def evaluate(
     desc: ast.Description,
     kernels: Sequence[Kernel],
     max_steps: int = 500_000,
     name: Optional[str] = None,
+    *,
+    weights: Optional[CostWeights] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> Evaluation:
-    """Run the full Figure-1 measurement pipeline on one candidate."""
+    """Run the full Figure-1 measurement pipeline on one candidate.
+
+    *weights* (keyword-only) is attached to the result so
+    :meth:`Evaluation.cost` can be called without repeating them; *cache*
+    (keyword-only) memoizes generated artifacts and whole evaluations by
+    structural fingerprint instead of rebuilding them internally.
+    """
     label = name or desc.name
+    if cache is None:
+        return _evaluate_uncached(desc, kernels, max_steps, label, weights)
+    fp = fingerprint(desc)
+    key = evaluation_key(desc, kernels, max_steps, fp)
+    evaluation = cache.evaluation(
+        key,
+        lambda: _evaluate_uncached(desc, kernels, max_steps, label,
+                                   weights, cache=cache, fp=fp),
+    )
+    # A hit may carry another run's label/weights; normalize without
+    # touching the cached instance.
+    if evaluation.name != label or evaluation.weights != weights:
+        evaluation = replace(evaluation, name=label, weights=weights)
+    return evaluation
+
+
+def _evaluate_uncached(
+    desc: ast.Description,
+    kernels: Sequence[Kernel],
+    max_steps: int,
+    label: str,
+    weights: Optional[CostWeights],
+    cache: Optional[ArtifactCache] = None,
+    fp: Optional[str] = None,
+) -> Evaluation:
+    fp = fp or (fingerprint(desc) if cache is not None else "")
     # 1. Retarget the compiler; an unfit ISA is a legitimate negative result.
     try:
         compiler = Compiler(desc)
-        programs = [
-            (kernel.name, compiler.compile_to_words(kernel))
-            for kernel in kernels
-        ]
+        if cache is None:
+            programs = [
+                (kernel.name, compiler.compile_to_words(kernel))
+                for kernel in kernels
+            ]
+        else:
+            programs = [
+                (
+                    kernel.name,
+                    cache.assembled(
+                        desc, kernel,
+                        lambda k=kernel: compiler.compile_to_words(k),
+                        fp=fp,
+                    ),
+                )
+                for kernel in kernels
+            ]
     except (CodegenError, ReproError) as exc:
-        return Evaluation(label, feasible=False, reason=str(exc))
-    # 2. Simulate every kernel on the generated ILS.
+        return Evaluation(label, feasible=False, reason=str(exc),
+                          weights=weights, fingerprint=fp)
+    # 2. Simulate every kernel on the generated ILS.  The signature table
+    #    and the fast core are pure functions of the description, so with a
+    #    cache they are generated once and shared by every simulator.
+    table = cache.signature_table(desc, fp) if cache is not None else None
+    core = cache.fast_core(desc, fp) if cache is not None else "generated"
     total_cycles = 0
     total_stalls = 0
     merged_stats: Optional[SimulationStats] = None
     per_kernel: Dict[str, int] = {}
     for kernel_name, program in programs:
-        sim = XSim(desc)
+        sim = XSim(desc, table=table, core=core)
         try:
             sim.load_words(program.words, program.origin)
             stats = sim.run_to_completion(max_steps)
@@ -114,6 +185,7 @@ def evaluate(
             return Evaluation(
                 label, feasible=False,
                 reason=f"kernel {kernel_name!r}: {exc}",
+                weights=weights, fingerprint=fp,
             )
         per_kernel[kernel_name] = stats.cycles
         total_cycles += stats.cycles
@@ -126,7 +198,12 @@ def evaluate(
             merged_stats.field_busy.update(stats.field_busy)
             merged_stats.instructions += stats.instructions
     # 3. Synthesize the hardware model.
-    model = synthesize(desc)
+    if cache is None:
+        from ..hgen import synthesize
+
+        model = synthesize(desc)
+    else:
+        model = cache.synthesized(desc, fp)
     power = estimate_power(
         desc, model.netlist, model.clock_mhz, stats=merged_stats,
         area=model.area,
@@ -144,4 +221,6 @@ def evaluate(
         synthesis_seconds=model.synthesis_seconds,
         stats=merged_stats,
         per_kernel_cycles=per_kernel,
+        weights=weights,
+        fingerprint=fp,
     )

@@ -1,0 +1,321 @@
+"""Parallel, cache-backed candidate evaluation for exploration sweeps.
+
+The Figure-1 loop proposes a batch of candidate descriptions per
+iteration and measures each with the full tool chain (compile → assemble
+→ simulate → synthesize → cost).  The measurements are independent, so
+:class:`ParallelEvaluator` fans them out over a ``concurrent.futures``
+pool while keeping the three properties a search loop needs:
+
+* **deterministic ordering** — results come back in submission order, so
+  tie-breaking ("first candidate wins at equal cost") matches the serial
+  engine bit for bit;
+* **failure isolation** — a candidate whose evaluation *raises* (as
+  opposed to one that is merely infeasible) is captured as an
+  :class:`EvalResult` with ``error`` set; it never aborts the sweep;
+* **cache warm-sharing** — the parent-side
+  :class:`~repro.cache.ArtifactCache` is consulted before any work is
+  dispatched and stores every result, so candidates re-proposed in later
+  iterations (or whole re-runs of a sweep) are lookups, whatever pool
+  mode produced them first.
+
+Pool modes: ``"process"`` (true parallelism; candidates and results
+cross the boundary by pickling), ``"thread"`` (shares the cache during
+the run; GIL-bound but dependency-free), ``"serial"`` (the seed
+behaviour), and ``"auto"`` (processes when the platform supports them,
+falling back to threads, and straight-line execution for tiny batches).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..cache import ArtifactCache
+from ..codegen.ir import Kernel
+from ..isdl import ast, fingerprint
+from .metrics import CostWeights, Evaluation, evaluate, evaluation_key
+
+__all__ = ["EvalRequest", "EvalResult", "ParallelEvaluator"]
+
+
+@dataclass
+class EvalRequest:
+    """One candidate description queued for measurement."""
+
+    desc: ast.Description
+    derived_by: str = "initial"
+    label: Optional[str] = None
+
+    @property
+    def display_label(self) -> str:
+        """A label that never raises, even for a malformed candidate."""
+        return self.label or getattr(self.desc, "name", "<candidate>")
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one candidate measurement, in submission order."""
+
+    index: int
+    label: str
+    derived_by: str
+    evaluation: Optional[Evaluation] = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker side.  Workers are long-lived (one pool per
+# evaluator); the kernels/settings land once via the initializer and each
+# worker keeps a private artifact cache for intra-worker reuse.
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _pool_init(kernels: Sequence[Kernel], max_steps: int,
+               weights: Optional[CostWeights]) -> None:
+    _WORKER_STATE["kernels"] = list(kernels)
+    _WORKER_STATE["max_steps"] = max_steps
+    _WORKER_STATE["weights"] = weights
+    _WORKER_STATE["cache"] = ArtifactCache(max_entries=128)
+
+
+def _pool_evaluate(index: int, desc: ast.Description,
+                   label: str) -> Tuple[int, Optional[Evaluation],
+                                        Optional[str]]:
+    try:
+        evaluation = evaluate(
+            desc,
+            _WORKER_STATE["kernels"],
+            _WORKER_STATE["max_steps"],
+            name=label,
+            weights=_WORKER_STATE["weights"],
+            cache=_WORKER_STATE["cache"],
+        )
+        return index, evaluation, None
+    except Exception as exc:  # noqa: BLE001 — failure capture is the point
+        return index, None, _format_error(exc)
+
+
+def _format_error(exc: BaseException) -> str:
+    tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    return tail
+
+
+class ParallelEvaluator:
+    """Evaluate candidate descriptions concurrently behind one cache."""
+
+    def __init__(
+        self,
+        kernels: Sequence[Kernel],
+        *,
+        weights: Optional[CostWeights] = None,
+        cache: Optional[ArtifactCache] = None,
+        max_steps: int = 500_000,
+        max_workers: Optional[int] = None,
+        mode: str = "auto",
+    ):
+        if mode not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown evaluator mode {mode!r}")
+        self.kernels = list(kernels)
+        self.weights = weights
+        self.cache = cache
+        self.max_steps = max_steps
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.mode = mode
+        self._pool = None
+        self._pool_kind: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, desc: ast.Description,
+                 label: Optional[str] = None) -> Evaluation:
+        """Measure a single candidate inline (exceptions propagate)."""
+        return evaluate(
+            desc, self.kernels, self.max_steps,
+            name=label, weights=self.weights, cache=self.cache,
+        )
+
+    def evaluate_many(
+        self, requests: Sequence[EvalRequest]
+    ) -> List[EvalResult]:
+        """Measure a batch; results are in submission order, always
+        ``len(requests)`` long, and a raised evaluation becomes an
+        ``error`` entry instead of an exception."""
+        results: List[Optional[EvalResult]] = [None] * len(requests)
+        jobs: List[Tuple[int, EvalRequest]] = []
+        for index, request in enumerate(requests):
+            hit = self._cache_probe(index, request)
+            if hit is not None:
+                results[index] = hit
+            else:
+                jobs.append((index, request))
+        mode = self._effective_mode(len(jobs))
+        if mode == "serial":
+            for index, request in jobs:
+                results[index] = self._evaluate_inline(index, request)
+        elif mode == "thread":
+            self._run_threads(jobs, results)
+        else:
+            self._run_processes(jobs, results)
+        return results  # type: ignore[return-value]
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_kind = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch strategies
+    # ------------------------------------------------------------------
+
+    def _effective_mode(self, jobs: int) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if jobs <= 1:
+            return "serial"
+        try:
+            import multiprocessing
+
+            multiprocessing.get_context()
+            return "process"
+        except (ImportError, OSError):  # pragma: no cover - exotic hosts
+            return "thread"
+
+    def _cache_probe(self, index: int,
+                     request: EvalRequest) -> Optional[EvalResult]:
+        """Warm-path lookup in the parent cache before dispatching."""
+        if self.cache is None:
+            return None
+        label = request.display_label
+        try:
+            key = evaluation_key(request.desc, self.kernels,
+                                 self.max_steps)
+        except Exception:  # malformed candidate: let dispatch record it
+            return None
+        cached = self.cache.peek("evaluation", key)
+        if cached is None:
+            return None
+        evaluation = self.evaluate(request.desc, label)  # counted hit
+        return EvalResult(index, label, request.derived_by,
+                          evaluation=evaluation, cached=True)
+
+    def _evaluate_inline(self, index: int,
+                         request: EvalRequest) -> EvalResult:
+        label = request.display_label
+        try:
+            evaluation = self.evaluate(request.desc, label)
+            return EvalResult(index, label, request.derived_by,
+                              evaluation=evaluation)
+        except Exception as exc:  # noqa: BLE001 — failure capture
+            return EvalResult(index, label, request.derived_by,
+                              error=_format_error(exc))
+
+    def _run_threads(self, jobs, results) -> None:
+        pool = self._ensure_pool("thread")
+        futures = {
+            pool.submit(self._evaluate_inline, index, request): index
+            for index, request in jobs
+        }
+        for future, index in futures.items():
+            results[index] = future.result()
+
+    def _run_processes(self, jobs, results) -> None:
+        try:
+            pool = self._ensure_pool("process")
+            futures = []
+            for index, request in jobs:
+                label = request.display_label
+                futures.append(
+                    (index, request,
+                     pool.submit(_pool_evaluate, index, request.desc,
+                                 label))
+                )
+        except (BrokenExecutor, OSError, ValueError):
+            self.shutdown()
+            for index, request in jobs:
+                results[index] = self._evaluate_inline(index, request)
+            return
+        retry_inline: List[Tuple[int, EvalRequest]] = []
+        for index, request, future in futures:
+            label = request.display_label
+            try:
+                _, evaluation, error = future.result()
+            except BrokenExecutor:
+                # the pool died (OOM-killed worker, fork failure…): finish
+                # the batch inline so the sweep still completes
+                retry_inline.append((index, request))
+                continue
+            except Exception as exc:  # noqa: BLE001 — pickling errors etc.
+                results[index] = EvalResult(index, label,
+                                            request.derived_by,
+                                            error=_format_error(exc))
+                continue
+            if error is not None:
+                results[index] = EvalResult(index, label,
+                                            request.derived_by, error=error)
+            else:
+                evaluation = self._adopt(request, evaluation)
+                results[index] = EvalResult(index, label,
+                                            request.derived_by,
+                                            evaluation=evaluation)
+        if retry_inline:
+            self.shutdown()
+            for index, request in retry_inline:
+                results[index] = self._evaluate_inline(index, request)
+
+    def _adopt(self, request: EvalRequest,
+               evaluation: Evaluation) -> Evaluation:
+        """Store a worker-produced evaluation in the parent cache, so the
+        warm path serves it next time regardless of pool mode."""
+        if self.cache is None:
+            return evaluation
+        key = evaluation_key(request.desc, self.kernels, self.max_steps,
+                             evaluation.fingerprint or None)
+        return self.cache.evaluation(key, lambda: evaluation)
+
+    def _ensure_pool(self, kind: str):
+        if self._pool is not None and self._pool_kind == kind:
+            return self._pool
+        self.shutdown()
+        if kind == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-eval",
+            )
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_pool_init,
+                initargs=(self.kernels, self.max_steps, self.weights),
+            )
+        self._pool_kind = kind
+        return self._pool

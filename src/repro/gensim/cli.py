@@ -130,9 +130,9 @@ class CommandLine:
 
     def _cmd_run(self, args):
         max_steps = int(args[0], 0) if args else 1_000_000
-        reason = self.sim.run(max_steps)
+        result = self.sim.run(max_steps)
         self.out(
-            f"stopped: {reason} at PC=0x{self.sim.state.pc:x},"
+            f"stopped: {result.halt_reason} at PC=0x{self.sim.state.pc:x},"
             f" cycle {self.sim.cycle}"
         )
         self._flush_monitors()

@@ -26,7 +26,7 @@ from ..isdl import ast, rtl
 from .core import INTRINSIC_IMPLS, _BINOPS, BoundNt, ProcessingCore
 from .disassembler import DecodedInstruction, Disassembler
 from .hazards import HazardAnalyzer
-from .stats import SimulationStats
+from .stats import RunResult, SimulationStats
 
 #: an expression closure: (scalars, arrays) -> int
 ExprFn = Callable[[dict, dict], int]
@@ -82,6 +82,28 @@ class CompiledSimulator:
     @property
     def halted(self) -> bool:
         return self._halt is not None and self.scalars.get(self._halt, 0) != 0
+
+    @property
+    def stats(self) -> SimulationStats:
+        """Counters accumulated so far (the protocol's ``stats``)."""
+        return SimulationStats(
+            cycles=self.cycle,
+            stall_cycles=self.stall_cycles,
+            instructions=self.instructions,
+        )
+
+    def reset(self) -> None:
+        """Reset cycle counts, pending writes and the PC; state persists.
+
+        Mirrors :meth:`Scheduler.reset` so the two backends agree on what
+        a reset means (the halt flag, like all state, is *not* cleared).
+        """
+        self.cycle = 0
+        self.instructions = 0
+        self.stall_cycles = 0
+        self._pending = []
+        self._seq = 0
+        self.scalars[self._pc] = self._origin
 
     # ------------------------------------------------------------------
     # Loading: off-line disassembly + per-instruction compilation
@@ -397,7 +419,15 @@ class CompiledSimulator:
     # Driver loop (mirrors the interpretive scheduler)
     # ------------------------------------------------------------------
 
-    def run(self, max_steps: int = 5_000_000) -> SimulationStats:
+    def run_to_completion(self, max_steps: int = 5_000_000) -> RunResult:
+        """Run until the halt flag rises; raise if it never does.
+
+        (The driver loop below already raises on ``max_steps``, so this is
+        :meth:`run` under the protocol's name.)
+        """
+        return self.run(max_steps)
+
+    def run(self, max_steps: int = 5_000_000) -> RunResult:
         scalars, arrays = self.scalars, self.arrays
         pending = self._pending
         origin = self._origin
@@ -454,9 +484,9 @@ class CompiledSimulator:
         while pending:
             _, _, _, commit, index, value = heapq.heappop(pending)
             commit(scalars, arrays, index, value)
-        stats = SimulationStats(
+        return RunResult(
             cycles=self.cycle,
             stall_cycles=self.stall_cycles,
             instructions=self.instructions,
+            halt_reason="halted",
         )
-        return stats

@@ -8,8 +8,9 @@ improvement heuristics (:mod:`repro.explore`).
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 from ..isdl import ast
@@ -80,3 +81,52 @@ class SimulationStats:
         for (field_name, op_name), count in self.op_counts.most_common(8):
             lines.append(f"  {field_name}.{op_name:12s} {count}")
         return "\n".join(lines)
+
+
+@dataclass(eq=False)
+class RunResult(SimulationStats):
+    """Statistics of one run plus the reason it stopped.
+
+    :meth:`XSim.run` historically returned the stop reason as a bare
+    string; it now returns this — a full :class:`SimulationStats` with the
+    reason in :attr:`halt_reason` (``"halted"``, ``"breakpoint"`` or
+    ``"max_steps"``).  Comparing a RunResult against a string still works
+    as a deprecation shim (it compares the halt reason) so existing
+    ``sim.run() == "halted"`` call sites keep their meaning while they
+    migrate.
+    """
+
+    halt_reason: str = ""
+
+    @classmethod
+    def from_stats(cls, stats: SimulationStats, halt_reason: str,
+                   cycles: int = None) -> "RunResult":
+        """Wrap *stats* (counters are shared, not copied) with a reason."""
+        values = {f.name: getattr(stats, f.name)
+                  for f in fields(SimulationStats)}
+        if cycles is not None:
+            values["cycles"] = cycles
+        return cls(halt_reason=halt_reason, **values)
+
+    def __eq__(self, other):
+        if isinstance(other, str):
+            warnings.warn(
+                "comparing XSim.run() results to strings is deprecated;"
+                " use result.halt_reason instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.halt_reason == other
+        if isinstance(other, SimulationStats):
+            base = [f.name for f in fields(SimulationStats)]
+            if isinstance(other, RunResult) and (
+                self.halt_reason != other.halt_reason
+            ):
+                return False
+            return all(
+                getattr(self, name) == getattr(other, name)
+                for name in base
+            )
+        return NotImplemented
+
+    __hash__ = None

@@ -23,7 +23,7 @@ from .monitors import Monitor
 from .render import render_instruction
 from .scheduler import Breakpoint, LoadedProgram, Scheduler
 from .state import State
-from .stats import SimulationStats
+from .stats import RunResult, SimulationStats
 from .trace import TraceSink
 
 
@@ -38,7 +38,9 @@ class XSim:
         of :class:`~repro.gensim.fastcore.FastCore` — the analogue of
         GENSIM's generated C; ``"interpretive"`` walks the RTL AST on
         every execution (the reference implementation, used by the
-        processing-core ablation benchmark)."""
+        processing-core ablation benchmark).  A prebuilt core object (a
+        :class:`FastCore` shared through :class:`repro.cache.ArtifactCache`)
+        may be passed instead of a name."""
         self.desc = desc
         self.table = table or SignatureTable(desc)
         self.state = State(desc)
@@ -46,8 +48,10 @@ class XSim:
             self.core = FastCore(desc)
         elif core == "interpretive":
             self.core = ProcessingCore(desc)
-        else:
+        elif isinstance(core, str):
             raise ValueError(f"unknown core {core!r}")
+        else:
+            self.core = core
         self.disassembler = Disassembler(desc, self.table)
         self.hazards = HazardAnalyzer(desc)
         self.scheduler = Scheduler(desc, self.state, self.core)
@@ -89,18 +93,29 @@ class XSim:
         """Execute a single instruction."""
         return self.scheduler.step()
 
-    def run(self, max_steps: int = 1_000_000) -> str:
-        """Run to halt/breakpoint; returns the stop reason."""
-        return self.scheduler.run(max_steps)
+    def run(self, max_steps: int = 1_000_000,
+            honor_breakpoints: bool = True) -> RunResult:
+        """Run to halt/breakpoint; returns statistics plus the stop reason.
 
-    def run_to_completion(self, max_steps: int = 1_000_000) -> SimulationStats:
+        The result is a :class:`RunResult` — a full
+        :class:`SimulationStats` whose :attr:`~RunResult.halt_reason` field
+        carries what used to be the bare string return value.  Comparing
+        the result against a string still works (deprecated shim).
+        """
+        reason = self.scheduler.run(max_steps, honor_breakpoints)
+        # stats.cycles is finalized on halt/max_steps but not at a
+        # breakpoint; the scheduler's live cycle counter is always right.
+        return RunResult.from_stats(self.stats, reason, cycles=self.cycle)
+
+    def run_to_completion(self, max_steps: int = 1_000_000) -> RunResult:
         """Run until the halt flag rises; raise if it never does."""
-        reason = self.scheduler.run(max_steps, honor_breakpoints=False)
-        if reason != "halted":
+        result = self.run(max_steps, honor_breakpoints=False)
+        if result.halt_reason != "halted":
             raise SimulationError(
-                f"program did not halt within {max_steps} steps ({reason})"
+                f"program did not halt within {max_steps} steps"
+                f" ({result.halt_reason})"
             )
-        return self.stats
+        return result
 
     @property
     def cycle(self) -> int:

@@ -5,6 +5,7 @@ the Instruction Set Description Language of the paper (section 2).
 """
 
 from . import ast, rtl
+from .fingerprint import fingerprint, fingerprint_text
 from .intrinsics import INTRINSICS
 from .loader import load_file, load_string
 from .parser import parse
@@ -15,6 +16,8 @@ __all__ = [
     "ast",
     "rtl",
     "INTRINSICS",
+    "fingerprint",
+    "fingerprint_text",
     "load_file",
     "load_string",
     "parse",

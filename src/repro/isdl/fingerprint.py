@@ -1,0 +1,34 @@
+"""Structural fingerprints for ISDL descriptions.
+
+The exploration engine memoizes generated artifacts (signature tables,
+simulator cores, assembled binaries, synthesized hardware models) by the
+*content* of the machine description that produced them.  The fingerprint is
+the SHA-256 of the canonical pretty-printed text: the printer is a pure
+function of the AST and round-trips through the parser
+(``parse(print(parse(s))) == parse(s)``), so two descriptions that denote
+the same machine hash identically regardless of how they were constructed —
+parsed from a file, built by :mod:`repro.arch`, or derived by an
+exploration transform.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from . import ast
+from .printer import print_description
+
+
+def fingerprint_text(text: str) -> str:
+    """SHA-256 hex digest of canonical ISDL text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint(desc: ast.Description) -> str:
+    """Stable structural fingerprint of a description.
+
+    Any change that alters the printed ISDL document — an operation added
+    or dropped, a cost or timing annotation, a storage resized — changes
+    the fingerprint; descriptions that print identically share one.
+    """
+    return fingerprint_text(print_description(desc))

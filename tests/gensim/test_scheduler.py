@@ -82,9 +82,9 @@ def test_max_steps_raises(sim):
 def test_run_stops_at_breakpoint(sim):
     load(sim, "nop\nnop\nnop\nhalt\n")
     sim.set_breakpoint(2)
-    assert sim.run() == "breakpoint"
+    assert sim.run().halt_reason == "breakpoint"
     assert sim.state.pc == 2
-    assert sim.run() == "halted"
+    assert sim.run().halt_reason == "halted"
 
 
 def test_breakpoint_attached_commands_dispatch(sim):
@@ -100,14 +100,14 @@ def test_disabled_breakpoint_is_skipped(sim):
     load(sim, "nop\nnop\nhalt\n")
     bp = sim.set_breakpoint(1)
     bp.enabled = False
-    assert sim.run() == "halted"
+    assert sim.run().halt_reason == "halted"
 
 
 def test_clear_breakpoint(sim):
     load(sim, "nop\nhalt\n")
     sim.set_breakpoint(1)
     sim.clear_breakpoint(1)
-    assert sim.run() == "halted"
+    assert sim.run().halt_reason == "halted"
 
 
 def test_reset_restores_pc_and_counters(sim):

@@ -1,0 +1,204 @@
+"""Tests for the content-addressed artifact cache and ISDL fingerprints."""
+
+import pytest
+
+from repro.arch import description_for
+from repro.cache import ArtifactCache, kernel_fingerprint
+from repro.codegen import KernelBuilder, Opcode
+from repro.explore import evaluate, transforms
+from repro.isdl import fingerprint, load_string, print_description
+
+
+def small_kernel():
+    K = KernelBuilder("tiny")
+    a = K.li(3)
+    b = K.li(4)
+    K.store(K.li(0), K.binary(Opcode.ADD, a, b))
+    return K.build()
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("arch", ["risc16", "spam", "acc8"])
+def test_fingerprint_stable_across_print_parse_roundtrip(arch):
+    desc = description_for(arch)
+    reparsed = load_string(print_description(desc))
+    assert fingerprint(desc) == fingerprint(reparsed)
+    # and the round trip is a fixed point, not merely hash-equal
+    assert print_description(desc) == print_description(reparsed)
+
+
+def test_fingerprint_distinguishes_architectures():
+    assert fingerprint(description_for("risc16")) != fingerprint(
+        description_for("spam")
+    )
+
+
+def test_fingerprint_invalidated_when_operations_change():
+    desc = description_for("risc16")
+    before = fingerprint(desc)
+    fld = desc.fields[0]
+    droppable = [
+        (fld.name, op.name)
+        for op in fld.operations
+        if op.action
+    ][:1]
+    leaner = transforms.drop_operations(desc, droppable)
+    assert fingerprint(leaner) != before
+    # the original is untouched (transforms are functional)
+    assert fingerprint(desc) == before
+
+
+def test_fingerprint_sensitive_to_timing_annotations():
+    from repro.isdl import ast
+
+    desc = description_for("risc16")
+    fld, op = next(
+        (f, o) for f, o in desc.operations() if o.action
+    )
+    changed = transforms.set_operation_timing(
+        desc, fld.name, op.name,
+        costs=ast.Costs(op.costs.cycle + 1, op.costs.stall, op.costs.size),
+        timing=op.timing,
+    )
+    assert fingerprint(changed) != fingerprint(desc)
+
+
+def test_kernel_fingerprint_stable_and_distinct():
+    assert kernel_fingerprint(small_kernel()) == kernel_fingerprint(
+        small_kernel()
+    )
+    K = KernelBuilder("tiny")
+    K.store(K.li(0), K.li(9))
+    assert kernel_fingerprint(K.build()) != kernel_fingerprint(
+        small_kernel()
+    )
+
+
+# ----------------------------------------------------------------------
+# LRU layer: hit/miss accounting, eviction
+# ----------------------------------------------------------------------
+
+
+def test_hit_miss_accounting():
+    cache = ArtifactCache()
+    builds = []
+    for _ in range(3):
+        cache.get_or_build("thing", "k", lambda: builds.append(1) or 42)
+    assert builds == [1]
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 2
+    assert cache.stats.hits_by_kind["thing"] == 2
+    assert cache.stats.misses_by_kind["thing"] == 1
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+    assert "thing" in cache.stats.report()
+
+
+def test_lru_eviction_drops_oldest():
+    cache = ArtifactCache(max_entries=2)
+    cache.get_or_build("k", 1, lambda: "a")
+    cache.get_or_build("k", 2, lambda: "b")
+    cache.get_or_build("k", 1, lambda: "a")  # touch 1 → 2 is now oldest
+    cache.get_or_build("k", 3, lambda: "c")
+    assert cache.stats.evictions == 1
+    assert cache.peek("k", 2) is None
+    assert cache.peek("k", 1) == "a"
+    assert len(cache) == 2
+
+
+def test_signature_table_and_fast_core_shared():
+    cache = ArtifactCache()
+    desc = description_for("risc16")
+    assert cache.signature_table(desc) is cache.signature_table(desc)
+    assert cache.fast_core(desc) is cache.fast_core(desc)
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+
+
+def test_disk_layer_survives_new_cache(tmp_path):
+    disk = str(tmp_path / "artifacts")
+    first = ArtifactCache(disk_path=disk)
+    first.get_or_build("evaluation", ("fp", "k"), lambda: {"cycles": 99})
+
+    second = ArtifactCache(disk_path=disk)
+
+    def must_not_build():
+        raise AssertionError("disk layer should have served this")
+
+    value = second.get_or_build("evaluation", ("fp", "k"), must_not_build)
+    assert value == {"cycles": 99}
+    assert second.stats.disk_hits == 1
+
+
+def test_disk_layer_ignores_unpicklable_kinds(tmp_path):
+    cache = ArtifactCache(disk_path=str(tmp_path / "d"))
+    value = cache.get_or_build("sigtable", "fp", lambda: object())
+    fresh = ArtifactCache(disk_path=str(tmp_path / "d"))
+    rebuilt = []
+    fresh.get_or_build("sigtable", "fp", lambda: rebuilt.append(1) or value)
+    assert rebuilt == [1]  # memory-only kind: new cache rebuilds
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    disk = str(tmp_path / "artifacts")
+    cache = ArtifactCache(disk_path=disk)
+    cache.get_or_build("evaluation", "key", lambda: 1)
+    path = cache._disk_file("evaluation", "key")
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    fresh = ArtifactCache(disk_path=disk)
+    assert fresh.get_or_build("evaluation", "key", lambda: 2) == 2
+
+
+# ----------------------------------------------------------------------
+# Whole-evaluation memoization and invalidation
+# ----------------------------------------------------------------------
+
+
+def test_cached_evaluation_hits_and_invalidates():
+    cache = ArtifactCache()
+    desc = description_for("risc16")
+    kernel = small_kernel()
+
+    first = evaluate(desc, [kernel], cache=cache)
+    assert cache.stats.misses_by_kind["evaluation"] == 1
+
+    again = evaluate(desc, [kernel], cache=cache)
+    assert cache.stats.hits_by_kind["evaluation"] == 1
+    assert again.cycles == first.cycles
+    assert again.die_size == first.die_size
+
+    # a structurally different candidate never hits the old entry
+    fld = desc.fields[0]
+    droppable = [
+        (fld.name, op.name)
+        for op in fld.operations
+        if op.action and kernel_unused(first, fld.name, op.name)
+    ][:1]
+    if droppable:
+        leaner = transforms.drop_operations(desc, droppable)
+        evaluate(leaner, [kernel], cache=cache)
+        assert cache.stats.misses_by_kind["evaluation"] == 2
+
+
+def kernel_unused(evaluation, field_name, op_name):
+    return evaluation.stats.op_counts[(field_name, op_name)] == 0
+
+
+def test_cached_evaluation_results_are_bit_true():
+    cache = ArtifactCache()
+    desc = description_for("spam")
+    kernel = small_kernel()
+    cold = evaluate(desc, [kernel], cache=cache)
+    plain = evaluate(desc, [kernel])
+    assert cold.cycles == plain.cycles
+    assert cold.stall_cycles == plain.stall_cycles
+    assert cold.cycle_ns == plain.cycle_ns
+    assert cold.die_size == plain.die_size
+    assert cold.power_mw == plain.power_mw
