@@ -8,7 +8,7 @@ on every cycle (what a naive interpretive simulator does).
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 from _kernels import preload_for, speed_program
 
 from repro.gensim.xsim import XSim
@@ -88,6 +88,11 @@ def test_online_decode(benchmark):
             f"- off-line disassembly is **{gain:.1f}x** faster — the"
             " paper's rationale for decoding at load time",
         )
+        record_json("ablation_disassembly", {
+            "config": {"arch": ARCH},
+            "cycles_per_second": dict(_speeds),
+            "offline_gain": gain,
+        })
         assert gain > 1.5
 
 

@@ -13,7 +13,7 @@ maximal-clique formulation, and that constraints expose extra sharing
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 
 from repro.arch import description_for
 from repro.hgen import synthesize
@@ -56,3 +56,16 @@ def test_sharing_ablation(benchmark, mode):
         assert full.shared_unit_count < naive.shared_unit_count
         assert full.core_die_size < naive.core_die_size
         assert full.core_die_size <= noc.core_die_size
+        record_json("ablation_sharing", {
+            "config": {"arch": "spam"},
+            "rows": {
+                mode: {
+                    "core_die_size": m.core_die_size,
+                    "fu_instances": m.shared_unit_count,
+                    "cycle_ns": m.cycle_ns,
+                }
+                for mode, m in _results.items()
+            },
+            "sharing_saves_cells":
+                naive.core_die_size - full.core_die_size,
+        })

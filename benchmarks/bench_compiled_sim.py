@@ -12,7 +12,7 @@ Measured: the three simulator generations on the same SPAM kernel —
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 from _kernels import preload_for, speed_program
 
 from repro.gensim import simulator_for
@@ -70,3 +70,8 @@ def test_simulator_generations(benchmark, mode):
         )
         assert _speeds["compiled_code"] > _speeds["generated"]
         assert _speeds["generated"] >= _speeds["interpretive"] * 0.9
+        record_json("compiled_sim", {
+            "config": {"arch": ARCH, "backends": _BACKENDS},
+            "cycles_per_second": dict(_speeds),
+            "compiled_over_generated": gain,
+        })

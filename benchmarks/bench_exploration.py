@@ -13,8 +13,9 @@ import time
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 
+from repro import obs
 from repro.arch import description_for
 from repro.cache import ArtifactCache
 from repro.codegen import Cond, KernelBuilder, Opcode
@@ -81,6 +82,27 @@ def test_exploration_loop(benchmark):
     assert log.improvement > 1.0
     assert best.die_size < first.die_size
 
+    # one instrumented re-run feeds the machine-readable result: the same
+    # sweep with repro.obs on, its merged profile attached to the payload
+    obs.enable(registry=obs.MetricsRegistry())
+    try:
+        obs_log = Explorer(kernels, CostWeights(1.0, 0.5, 0.3)).explore(
+            description_for("spam"), max_iterations=3
+        )
+        snapshot = obs.registry().snapshot()
+    finally:
+        obs.disable(reset=True)
+    record_json("exploration", {
+        "config": {"arch": "spam", "max_iterations": 3,
+                   "kernels": [k.name for k in kernels]},
+        "mean_seconds": benchmark.stats.stats.mean,
+        "iterations": log.iterations,
+        "candidates": candidates,
+        "improvement": log.improvement,
+        "obs": snapshot.to_dict(),
+        "obs_profiled_candidates": len(obs_log.profiles),
+    })
+
 
 def test_parallel_engine_speedup(benchmark):
     """Serial-vs-parallel and cold-vs-warm-cache engine comparison.
@@ -145,3 +167,13 @@ def test_parallel_engine_speedup(benchmark):
     )
     assert warm_speedup >= 2.0
     assert cache.stats.hits > 0
+    record_json("exploration_engine", {
+        "config": {"arch": "spam", "max_iterations": 3},
+        "serial_seconds": serial_s,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "warm_speedup": warm_speedup,
+        "cache_hits": cache.stats.hits,
+        "cache_misses": cache.stats.misses,
+        "cache_hit_rate": cache.stats.hit_rate,
+    })

@@ -10,7 +10,7 @@ though absolute speeds differ widely.
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 from _kernels import preload_for, speed_program
 
 from repro.gensim.xsim import XSim
@@ -71,3 +71,8 @@ def test_speedup_independence(benchmark, arch):
         )
         # Same order of magnitude across all architectures.
         assert spread < 12.0
+        record_json("speedup_independence", {
+            "config": {"archs": ARCHS},
+            "speedups": dict(_speedups),
+            "spread": spread,
+        })

@@ -14,7 +14,7 @@ ILS ≫ hardware-model simulation, by roughly an order of magnitude or more.
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 from _kernels import preload_for, speed_program
 
 from repro.gensim.xsim import XSim
@@ -94,4 +94,10 @@ def test_table1_hardware_model_speed(benchmark, spam_model):
             f"- **Speedup: {speedup:.1f}x** — the ILS wins by roughly an"
             " order of magnitude, matching the paper's shape",
         )
+        record_json("table1_simulation_speed", {
+            "config": {"arch": ARCH},
+            "ils_cycles_per_second": _measured["ils"],
+            "gate_cycles_per_second": cps,
+            "speedup": speedup,
+        })
         assert speedup > 4.0, "ILS should clearly outrun the gate model"

@@ -10,7 +10,7 @@ integer SPAM2, with synthesis runtimes of seconds.
 
 import pytest
 
-from conftest import record
+from conftest import record, record_json
 
 from repro.arch import description_for
 from repro.hgen import synthesize
@@ -45,3 +45,16 @@ def test_table2_synthesis(benchmark, arch):
         assert spam.core_die_size > 2 * spam2.core_die_size
         assert spam.verilog_lines > spam2.verilog_lines
         assert spam.cycle_ns >= spam2.cycle_ns
+        record_json("table2_synthesis", {
+            "config": {"archs": ["spam", "spam2"]},
+            "rows": {
+                name: {
+                    "cycle_ns": m.cycle_ns,
+                    "verilog_lines": m.verilog_lines,
+                    "die_size": m.die_size,
+                    "core_die_size": m.core_die_size,
+                }
+                for name, m in _rows.items()
+            },
+            "core_die_ratio": ratio,
+        })

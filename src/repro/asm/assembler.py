@@ -28,6 +28,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..encoding.signature import Operand, SignatureTable
 from ..errors import (
     AssemblerError,
@@ -208,8 +209,9 @@ class Assembler:
     # ------------------------------------------------------------------
 
     def assemble(self, source: str, filename: str = "<asm>") -> AssembledProgram:
-        lines, symbols, origin, top = self._pass1(source, filename)
-        return self._pass2(lines, symbols, origin, top)
+        with obs.span("asm.assemble", file=filename):
+            lines, symbols, origin, top = self._pass1(source, filename)
+            return self._pass2(lines, symbols, origin, top)
 
     def assemble_file(self, path: str) -> AssembledProgram:
         with open(path, "r", encoding="utf-8") as handle:

@@ -33,6 +33,8 @@ from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from . import obs
+
 __all__ = ["ArtifactCache", "CacheStats", "kernel_fingerprint"]
 
 
@@ -111,6 +113,7 @@ class ArtifactCache:
                 self._entries.move_to_end(full_key)
                 self.stats.hits += 1
                 self.stats.hits_by_kind[kind] += 1
+                obs.add("cache.hits")
                 return self._entries[full_key]
         value, from_disk = self._disk_load(kind, key)
         if not from_disk:
@@ -120,9 +123,12 @@ class ArtifactCache:
                 self.stats.hits += 1
                 self.stats.hits_by_kind[kind] += 1
                 self.stats.disk_hits += 1
+                obs.add("cache.hits")
+                obs.add("cache.disk_hits")
             else:
                 self.stats.misses += 1
                 self.stats.misses_by_kind[kind] += 1
+                obs.add("cache.misses")
             self._store(full_key, value)
         if not from_disk:
             self._disk_save(kind, key, value)
@@ -149,6 +155,7 @@ class ArtifactCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            obs.add("cache.evictions")
 
     # ------------------------------------------------------------------
     # Disk layer (best-effort, picklable kinds only)

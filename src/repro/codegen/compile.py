@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..errors import CodegenError
 from ..isdl import ast, rtl
 from .ir import (
@@ -78,15 +79,16 @@ class Compiler:
     def compile(self, kernel: Kernel, parallelize: bool = True,
                 halt: bool = True) -> CompiledProgram:
         """Compile *kernel* to assembly text for this target."""
-        kernel.validate()
-        lowered = self._lower(kernel, append_halt=halt)
-        mapping = self._allocate(lowered)
-        mops = [self._render(item, mapping) for item in lowered]
-        entries = pack(self.desc, mops, parallelize)
-        entries = insert_latency_padding(entries, self._nop_text())
-        source = render_program(entries)
-        packets = sum(1 for e in entries if not isinstance(e, str))
-        return CompiledProgram(source, packets, mapping, len(lowered))
+        with obs.span("codegen.compile", kernel=kernel.name):
+            kernel.validate()
+            lowered = self._lower(kernel, append_halt=halt)
+            mapping = self._allocate(lowered)
+            mops = [self._render(item, mapping) for item in lowered]
+            entries = pack(self.desc, mops, parallelize)
+            entries = insert_latency_padding(entries, self._nop_text())
+            source = render_program(entries)
+            packets = sum(1 for e in entries if not isinstance(e, str))
+            return CompiledProgram(source, packets, mapping, len(lowered))
 
     def compile_to_words(self, kernel: Kernel, parallelize: bool = True):
         """Compile and assemble in one step."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..errors import EncodingError, IsdlSemanticError
 from ..isdl import ast
 
@@ -155,17 +156,22 @@ class SignatureTable:
         self.desc = desc
         self.operation_signatures: Dict[Tuple[str, str], Signature] = {}
         self.option_signatures: Dict[Tuple[str, str], Signature] = {}
-        for fld, op in desc.operations():
-            widths = self._value_widths(op.params)
-            self.operation_signatures[(fld.name, op.name)] = (
-                Signature.from_encoding(op.encoding, desc.word_width, widths)
-            )
-        for nt in desc.nonterminals.values():
-            for opt in nt.options:
-                widths = self._value_widths(opt.params)
-                self.option_signatures[(nt.name, opt.label)] = (
-                    Signature.from_encoding(opt.encoding, nt.width, widths)
+        with obs.span("encoding.sigtable", desc=desc.name):
+            for fld, op in desc.operations():
+                widths = self._value_widths(op.params)
+                self.operation_signatures[(fld.name, op.name)] = (
+                    Signature.from_encoding(
+                        op.encoding, desc.word_width, widths
+                    )
                 )
+            for nt in desc.nonterminals.values():
+                for opt in nt.options:
+                    widths = self._value_widths(opt.params)
+                    self.option_signatures[(nt.name, opt.label)] = (
+                        Signature.from_encoding(opt.encoding, nt.width,
+                                                widths)
+                    )
+            obs.add("sigtable.builds")
 
     def _value_widths(self, params) -> Dict[str, int]:
         widths = {}

@@ -27,12 +27,14 @@ and cycle counts whatever the pool mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..cache import ArtifactCache
 from ..codegen.ir import Kernel
 from ..errors import ExplorationError, ReproError
 from ..isdl import ast
+from ..obs.metrics import MetricsSnapshot
 from . import transforms
 from .metrics import CostWeights, Evaluation
 from .parallel import EvalRequest, EvalResult, ParallelEvaluator
@@ -59,6 +61,16 @@ class ExplorationLog:
     rejected: List[Candidate] = field(default_factory=list)
     errors: List[EvalResult] = field(default_factory=list)
     iterations: int = 0
+    #: per-candidate observability profile (label → first measurement);
+    #: empty unless :mod:`repro.obs` was enabled during the run
+    profiles: Dict[str, MetricsSnapshot] = field(default_factory=dict)
+
+    def merged_profile(self) -> Optional[MetricsSnapshot]:
+        """All per-candidate profiles folded into one snapshot (insertion
+        order, so the merge is deterministic); None when obs was off."""
+        if not self.profiles:
+            return None
+        return MetricsSnapshot.merged(self.profiles.values())
 
     @property
     def best(self) -> Candidate:
@@ -130,43 +142,66 @@ class Explorer:
                 max_iterations: int = 8) -> ExplorationLog:
         """Run the Figure-1 loop until convergence."""
         log = ExplorationLog(self.weights)
-        incumbent = self.evaluate(initial)
-        if not incumbent.evaluation.feasible:
-            raise ExplorationError(
-                f"initial architecture infeasible:"
-                f" {incumbent.evaluation.reason}"
-            )
-        log.accepted.append(incumbent)
-        for _ in range(max_iterations):
-            log.iterations += 1
-            requests = [
-                EvalRequest(desc, derived_by=how)
-                for desc, how in self._proposals(incumbent)
-            ]
-            best_next: Optional[Candidate] = None
-            for result in self.evaluator.evaluate_many(requests):
-                if not result.ok:
-                    log.errors.append(result)
-                    continue
-                candidate = Candidate(
-                    requests[result.index].desc,
-                    result.evaluation,
-                    result.derived_by,
+        with obs.span("explore.sweep", initial=initial.name,
+                      max_iterations=max_iterations):
+            with obs.capture() as cap:
+                incumbent = self.evaluate(initial)
+            self._note_profile(log, incumbent.evaluation.name,
+                               cap.snapshot)
+            if not incumbent.evaluation.feasible:
+                raise ExplorationError(
+                    f"initial architecture infeasible:"
+                    f" {incumbent.evaluation.reason}"
                 )
-                if not candidate.evaluation.feasible:
-                    log.rejected.append(candidate)
-                    continue
-                if best_next is None or candidate.cost(
-                    self.weights
-                ) < best_next.cost(self.weights):
-                    best_next = candidate
-            if best_next is None or best_next.cost(
-                self.weights
-            ) >= incumbent.cost(self.weights):
-                break
-            incumbent = best_next
             log.accepted.append(incumbent)
+            for _ in range(max_iterations):
+                log.iterations += 1
+                with obs.span("explore.iteration", n=log.iterations):
+                    improved = self._iterate(log, incumbent)
+                if improved is None:
+                    break
+                incumbent = improved
+                log.accepted.append(incumbent)
         return log
+
+    def _iterate(self, log: ExplorationLog,
+                 incumbent: Candidate) -> Optional[Candidate]:
+        """One proposal round; the new incumbent, or None at convergence."""
+        requests = [
+            EvalRequest(desc, derived_by=how)
+            for desc, how in self._proposals(incumbent)
+        ]
+        best_next: Optional[Candidate] = None
+        for result in self.evaluator.evaluate_many(requests):
+            self._note_profile(log, result.label, result.obs)
+            if not result.ok:
+                log.errors.append(result)
+                continue
+            candidate = Candidate(
+                requests[result.index].desc,
+                result.evaluation,
+                result.derived_by,
+            )
+            if not candidate.evaluation.feasible:
+                log.rejected.append(candidate)
+                continue
+            if best_next is None or candidate.cost(
+                self.weights
+            ) < best_next.cost(self.weights):
+                best_next = candidate
+        if best_next is None or best_next.cost(
+            self.weights
+        ) >= incumbent.cost(self.weights):
+            return None
+        return best_next
+
+    @staticmethod
+    def _note_profile(log: ExplorationLog, label: str,
+                      snapshot: Optional[MetricsSnapshot]) -> None:
+        """Keep the first (= full-measurement) profile per candidate."""
+        if snapshot is None or label in log.profiles:
+            return
+        log.profiles[label] = snapshot.copy()
 
     # ------------------------------------------------------------------
     # Measurement-guided candidate generation

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..cache import ArtifactCache, kernel_fingerprint
 from ..codegen import Compiler
 from ..codegen.ir import Kernel
@@ -117,14 +118,17 @@ def evaluate(
     """
     label = name or desc.name
     if cache is None:
-        return _evaluate_uncached(desc, kernels, max_steps, label, weights)
-    fp = fingerprint(desc)
-    key = evaluation_key(desc, kernels, max_steps, fp)
-    evaluation = cache.evaluation(
-        key,
-        lambda: _evaluate_uncached(desc, kernels, max_steps, label,
-                                   weights, cache=cache, fp=fp),
-    )
+        with obs.span("explore.evaluate", candidate=label):
+            return _evaluate_uncached(desc, kernels, max_steps, label,
+                                      weights)
+    with obs.span("explore.evaluate", candidate=label):
+        fp = fingerprint(desc)
+        key = evaluation_key(desc, kernels, max_steps, fp)
+        evaluation = cache.evaluation(
+            key,
+            lambda: _evaluate_uncached(desc, kernels, max_steps, label,
+                                       weights, cache=cache, fp=fp),
+        )
     # A hit may carry another run's label/weights; normalize without
     # touching the cached instance.
     if evaluation.name != label or evaluation.weights != weights:
@@ -204,10 +208,11 @@ def _evaluate_uncached(
         model = synthesize(desc)
     else:
         model = cache.synthesized(desc, fp)
-    power = estimate_power(
-        desc, model.netlist, model.clock_mhz, stats=merged_stats,
-        area=model.area,
-    )
+    with obs.span("hgen.power"):
+        power = estimate_power(
+            desc, model.netlist, model.clock_mhz, stats=merged_stats,
+            area=model.area,
+        )
     return Evaluation(
         name=label,
         feasible=True,

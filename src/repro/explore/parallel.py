@@ -33,9 +33,11 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..cache import ArtifactCache
 from ..codegen.ir import Kernel
 from ..isdl import ast, fingerprint
+from ..obs.metrics import MetricsSnapshot
 from .metrics import CostWeights, Evaluation, evaluate, evaluation_key
 
 __all__ = ["EvalRequest", "EvalResult", "ParallelEvaluator"]
@@ -65,6 +67,9 @@ class EvalResult:
     evaluation: Optional[Evaluation] = None
     error: Optional[str] = None
     cached: bool = False
+    #: per-candidate observability profile (None while obs is disabled);
+    #: for pool workers this is the snapshot shipped back to the parent
+    obs: Optional[MetricsSnapshot] = None
 
     @property
     def ok(self) -> bool:
@@ -81,28 +86,35 @@ _WORKER_STATE: dict = {}
 
 
 def _pool_init(kernels: Sequence[Kernel], max_steps: int,
-               weights: Optional[CostWeights]) -> None:
+               weights: Optional[CostWeights],
+               obs_enabled: bool = False) -> None:
     _WORKER_STATE["kernels"] = list(kernels)
     _WORKER_STATE["max_steps"] = max_steps
     _WORKER_STATE["weights"] = weights
     _WORKER_STATE["cache"] = ArtifactCache(max_entries=128)
+    if obs_enabled:
+        obs.enable()
 
 
 def _pool_evaluate(index: int, desc: ast.Description,
                    label: str) -> Tuple[int, Optional[Evaluation],
-                                        Optional[str]]:
-    try:
-        evaluation = evaluate(
-            desc,
-            _WORKER_STATE["kernels"],
-            _WORKER_STATE["max_steps"],
-            name=label,
-            weights=_WORKER_STATE["weights"],
-            cache=_WORKER_STATE["cache"],
-        )
-        return index, evaluation, None
-    except Exception as exc:  # noqa: BLE001 — failure capture is the point
-        return index, None, _format_error(exc)
+                                        Optional[str],
+                                        Optional[MetricsSnapshot]]:
+    error: Optional[str] = None
+    evaluation: Optional[Evaluation] = None
+    with obs.capture() as cap:
+        try:
+            evaluation = evaluate(
+                desc,
+                _WORKER_STATE["kernels"],
+                _WORKER_STATE["max_steps"],
+                name=label,
+                weights=_WORKER_STATE["weights"],
+                cache=_WORKER_STATE["cache"],
+            )
+        except Exception as exc:  # noqa: BLE001 — failure capture is the point
+            error = _format_error(exc)
+    return index, evaluation, error, cap.snapshot
 
 
 def _format_error(exc: BaseException) -> str:
@@ -220,20 +232,26 @@ class ParallelEvaluator:
         cached = self.cache.peek("evaluation", key)
         if cached is None:
             return None
-        evaluation = self.evaluate(request.desc, label)  # counted hit
+        with obs.capture() as cap:
+            evaluation = self.evaluate(request.desc, label)  # counted hit
         return EvalResult(index, label, request.derived_by,
-                          evaluation=evaluation, cached=True)
+                          evaluation=evaluation, cached=True,
+                          obs=cap.snapshot)
 
     def _evaluate_inline(self, index: int,
                          request: EvalRequest) -> EvalResult:
         label = request.display_label
-        try:
-            evaluation = self.evaluate(request.desc, label)
+        evaluation = error = None
+        with obs.capture() as cap:
+            try:
+                evaluation = self.evaluate(request.desc, label)
+            except Exception as exc:  # noqa: BLE001 — failure capture
+                error = _format_error(exc)
+        if error is not None:
             return EvalResult(index, label, request.derived_by,
-                              evaluation=evaluation)
-        except Exception as exc:  # noqa: BLE001 — failure capture
-            return EvalResult(index, label, request.derived_by,
-                              error=_format_error(exc))
+                              error=error, obs=cap.snapshot)
+        return EvalResult(index, label, request.derived_by,
+                          evaluation=evaluation, obs=cap.snapshot)
 
     def _run_threads(self, jobs, results) -> None:
         pool = self._ensure_pool("thread")
@@ -264,7 +282,7 @@ class ParallelEvaluator:
         for index, request, future in futures:
             label = request.display_label
             try:
-                _, evaluation, error = future.result()
+                _, evaluation, error, snapshot = future.result()
             except BrokenExecutor:
                 # the pool died (OOM-killed worker, fork failure…): finish
                 # the batch inline so the sweep still completes
@@ -275,14 +293,20 @@ class ParallelEvaluator:
                                             request.derived_by,
                                             error=_format_error(exc))
                 continue
+            # futures are consumed in submission order, so merging worker
+            # snapshots here keeps the parent registry deterministic
+            if snapshot is not None:
+                obs.merge(snapshot)
             if error is not None:
                 results[index] = EvalResult(index, label,
-                                            request.derived_by, error=error)
+                                            request.derived_by, error=error,
+                                            obs=snapshot)
             else:
                 evaluation = self._adopt(request, evaluation)
                 results[index] = EvalResult(index, label,
                                             request.derived_by,
-                                            evaluation=evaluation)
+                                            evaluation=evaluation,
+                                            obs=snapshot)
         if retry_inline:
             self.shutdown()
             for index, request in retry_inline:
@@ -315,7 +339,8 @@ class ParallelEvaluator:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_pool_init,
-                initargs=(self.kernels, self.max_steps, self.weights),
+                initargs=(self.kernels, self.max_steps, self.weights,
+                          obs.enabled()),
             )
         self._pool_kind = kind
         return self._pool

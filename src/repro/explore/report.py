@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..cache import ArtifactCache
 from .explorer import ExplorationLog
 from .metrics import CostWeights, Evaluation
 
@@ -31,8 +32,14 @@ def evaluation_table(evaluations: List[Evaluation],
     return "\n".join(lines)
 
 
-def exploration_report(log: ExplorationLog) -> str:
-    """The trajectory of one exploration run."""
+def exploration_report(log: ExplorationLog,
+                       cache: Optional[ArtifactCache] = None) -> str:
+    """The trajectory of one exploration run.
+
+    Pass the run's *cache* to append its hit/miss accounting; when the
+    run was made with :mod:`repro.obs` enabled, the merged per-stage
+    profile of every candidate measurement is appended as well.
+    """
     lines = [
         f"exploration: {log.iterations} iteration(s),"
         f" {len(log.accepted) - 1} improvement step(s),"
@@ -49,4 +56,13 @@ def exploration_report(log: ExplorationLog) -> str:
     lines.append(
         f"total improvement: {log.improvement:.2f}x cost reduction"
     )
+    if cache is not None:
+        lines.append("")
+        lines.append(cache.stats.report())
+    profile = log.merged_profile()
+    if profile is not None and profile.stage_names():
+        lines.append("")
+        lines.append(f"stage profile ({len(log.profiles)} candidate"
+                     f" measurement(s)):")
+        lines.append(profile.stage_table())
     return "\n".join(lines)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..encoding.bits import mask, set_bits
 from ..errors import SimulationError
 from ..isdl import ast, rtl
@@ -428,6 +429,18 @@ class CompiledSimulator:
         return self.run(max_steps)
 
     def run(self, max_steps: int = 5_000_000) -> RunResult:
+        instructions_before = self.instructions
+        cycles_before = self.cycle
+        with obs.span("sim.run", backend="compiled", desc=self.desc.name):
+            result = self._run_loop(max_steps)
+        if obs.enabled():
+            obs.add("sim.runs")
+            obs.add("sim.cycles", self.cycle - cycles_before)
+            obs.add("sim.instructions",
+                    self.instructions - instructions_before)
+        return result
+
+    def _run_loop(self, max_steps: int) -> RunResult:
         scalars, arrays = self.scalars, self.arrays
         pending = self._pending
         origin = self._origin

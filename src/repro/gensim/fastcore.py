@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import SimulationError
 from ..isdl import ast, rtl
 from .core import (
@@ -74,8 +75,12 @@ class FastCore:
         key = (op.name, id(op), self._option_key(op, operands))
         routine = self._routines.get(key)
         if routine is None:
-            routine = _Routine(self.desc, op, operands)
+            # Compile-on-miss is the GENSIM "core build"; it happens once
+            # per (operation, option-combination) per architecture.
+            with obs.span("gensim.corebuild", op=op.name):
+                routine = _Routine(self.desc, op, operands)
             self._routines[key] = routine
+            obs.add("gensim.routines_compiled")
         return routine
 
     def _option_key(self, op, operands):

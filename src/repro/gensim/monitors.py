@@ -35,6 +35,9 @@ class MonitorSet:
     def __init__(self) -> None:
         self._monitors: Dict[str, List[Monitor]] = {}
         self.messages: List[str] = []
+        #: total callback invocations across all monitors (feeds the
+        #: ``sim.monitor_hits`` observability counter)
+        self.hits_total: int = 0
 
     def watch(
         self,
@@ -58,6 +61,7 @@ class MonitorSet:
     def clear(self) -> None:
         self._monitors.clear()
         self.messages.clear()
+        self.hits_total = 0
 
     def notify(
         self, storage: str, index: Optional[int], old: int, new: int
@@ -69,6 +73,7 @@ class MonitorSet:
             if monitor.index is not None and monitor.index != index:
                 continue
             monitor.hits += 1
+            self.hits_total += 1
             monitor.callback(storage, index, old, new)
 
     def _default_callback(

@@ -23,13 +23,26 @@ class TraceRecord:
 
 
 class TraceSink:
-    """Base class: ignores everything."""
+    """Base class: ignores everything.
+
+    Every sink is a context manager — ``with open_trace_file(p) as sink:``
+    guarantees the flush-on-close that file sinks need, and lets other
+    record producers (e.g. the :mod:`repro.obs` span exporter) reuse the
+    sink lifecycle unchanged.
+    """
 
     def emit(self, record: TraceRecord) -> None:  # pragma: no cover - trivial
         pass
 
     def close(self) -> None:  # pragma: no cover - trivial
         pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
 
 
 class ListTrace(TraceSink):
@@ -53,17 +66,24 @@ class CallbackTrace(TraceSink):
 
 
 class FileTrace(TraceSink):
-    """Writes one line per record to an open text stream."""
+    """Writes one line per record to an open text stream.
+
+    Subclasses override :meth:`format` to emit other record types through
+    the same stream/close handling (see ``repro.obs.export.SpanFileTrace``).
+    """
 
     def __init__(self, stream: TextIO, close_stream: bool = False):
         self._stream = stream
         self._close_stream = close_stream
 
-    def emit(self, record: TraceRecord) -> None:
-        self._stream.write(
+    def format(self, record: TraceRecord) -> str:
+        return (
             f"{record.cycle:10d}  0x{record.address:06x}"
-            f"  0x{record.word:012x}  {record.disassembly}\n"
+            f"  0x{record.word:012x}  {record.disassembly}"
         )
+
+    def emit(self, record: TraceRecord) -> None:
+        self._stream.write(self.format(record) + "\n")
 
     def close(self) -> None:
         self._stream.flush()

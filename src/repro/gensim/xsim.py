@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
 from ..encoding.signature import SignatureTable
 from ..errors import SimulationError
 from ..isdl import ast
@@ -102,10 +103,19 @@ class XSim:
         carries what used to be the bare string return value.  Comparing
         the result against a string still works (deprecated shim).
         """
-        reason = self.scheduler.run(max_steps, honor_breakpoints)
+        monitors = self.state.monitors
+        hits_before = monitors.hits_total
+        with obs.span("sim.run", backend="xsim", desc=self.desc.name):
+            reason = self.scheduler.run(max_steps, honor_breakpoints)
         # stats.cycles is finalized on halt/max_steps but not at a
         # breakpoint; the scheduler's live cycle counter is always right.
-        return RunResult.from_stats(self.stats, reason, cycles=self.cycle)
+        result = RunResult.from_stats(self.stats, reason, cycles=self.cycle)
+        if obs.enabled():
+            obs.add("sim.runs")
+            obs.add("sim.cycles", result.cycles)
+            obs.add("sim.instructions", result.instructions)
+            obs.add("sim.monitor_hits", monitors.hits_total - hits_before)
+        return result
 
     def run_to_completion(self, max_steps: int = 1_000_000) -> RunResult:
         """Run until the halt flag rises; raise if it never does."""

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..encoding.signature import SignatureTable
 from ..isdl import ast, semantics
 from .area import AreaReport, estimate_area
@@ -98,27 +99,34 @@ def synthesize(
     §4.1.1 when off); *use_constraints* controls whether constraints may
     prove cross-field exclusion (paper rule 4's refinement).
     """
-    if validate:
-        semantics.check(desc)
-    start = time.perf_counter()
-    table = table or SignatureTable(desc)
-    nodes = extract_nodes(desc)
-    allocation: Optional[Dict[NodeId, int]] = None
-    cliques: List[List[int]] = [[i] for i in range(len(nodes))]
-    if share:
-        analysis = SharingAnalysis(desc, nodes, use_constraints)
-        adjacency = analysis.adjacency()
-        cliques = clique_partition(adjacency)
-        verify_cliques(adjacency, cliques)
-        allocation = {}
-        for instance, clique in enumerate(cliques):
-            for vertex in clique:
-                allocation[nodes[vertex].node_id] = instance
-    netlist = build_datapath(desc, table, allocation)
-    verilog = emit_verilog(desc, netlist)
-    area = estimate_area(desc, netlist)
-    timing = estimate_timing(desc, netlist)
-    elapsed = time.perf_counter() - start
+    with obs.span("hgen.synthesize", desc=desc.name, share=share):
+        if validate:
+            semantics.check(desc)
+        start = time.perf_counter()
+        table = table or SignatureTable(desc)
+        with obs.span("hgen.nodes"):
+            nodes = extract_nodes(desc)
+        allocation: Optional[Dict[NodeId, int]] = None
+        cliques: List[List[int]] = [[i] for i in range(len(nodes))]
+        if share:
+            with obs.span("hgen.sharing"):
+                analysis = SharingAnalysis(desc, nodes, use_constraints)
+                adjacency = analysis.adjacency()
+                cliques = clique_partition(adjacency)
+                verify_cliques(adjacency, cliques)
+            allocation = {}
+            for instance, clique in enumerate(cliques):
+                for vertex in clique:
+                    allocation[nodes[vertex].node_id] = instance
+        with obs.span("hgen.datapath"):
+            netlist = build_datapath(desc, table, allocation)
+        with obs.span("hgen.verilog"):
+            verilog = emit_verilog(desc, netlist)
+        with obs.span("hgen.estimate"):
+            area = estimate_area(desc, netlist)
+            timing = estimate_timing(desc, netlist)
+        elapsed = time.perf_counter() - start
+        obs.add("hgen.syntheses")
     return HardwareModel(
         desc=desc,
         netlist=netlist,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import IsdlSyntaxError, SourceLocation
 from . import ast, rtl
 from .lexer import Token, tokenize
@@ -34,7 +35,8 @@ _BINARY_TIERS = [
 
 def parse(source: str, filename: str = "<isdl>") -> ast.Description:
     """Parse ISDL *source* text into a :class:`Description`."""
-    return _Parser(tokenize(source, filename)).parse_description()
+    with obs.span("isdl.parse", file=filename):
+        return _Parser(tokenize(source, filename)).parse_description()
 
 
 class _RawLoc:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import IsdlSemanticError
 from . import ast, rtl
 from .intrinsics import INTRINSICS
@@ -23,9 +24,10 @@ from .intrinsics import INTRINSICS
 
 def check(desc: ast.Description, collect: bool = False) -> List[str]:
     """Validate *desc*; raise on the first problem unless *collect*."""
-    checker = _Checker(desc, collect)
-    checker.run()
-    return checker.problems
+    with obs.span("isdl.check", desc=desc.name):
+        checker = _Checker(desc, collect)
+        checker.run()
+        return checker.problems
 
 
 def alias_width(desc: ast.Description, alias: ast.Alias) -> int:

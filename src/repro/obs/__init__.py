@@ -1,0 +1,262 @@
+"""repro.obs — the unified observability subsystem.
+
+Every layer of the tool chain (ISDL parsing, signature tables, GENSIM core
+builds, assembly, simulation runs, HGEN synthesis, the exploration engine,
+the artifact cache) calls into this facade.  Observability is **disabled by
+default** and the disabled paths are near-free: one module-global boolean
+check and a shared no-op context manager, so benchmarks measure the tool
+chain, not its instrumentation.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()                       # module-level switch
+    log = explorer.explore(desc)       # instrumented sweep
+    obs.tracer().write_chrome_trace("trace.json")   # about:tracing-loadable
+    print(obs.tracer().text_profile())              # fixed-width profile
+    print(obs.registry().report())                  # counters/histograms
+    obs.disable()
+
+Instrumented code uses three primitives, all safe to call when disabled:
+
+* ``with obs.span("hgen.synthesize", desc=name): ...`` — a nested span
+  with wall/CPU time, exported to Chrome trace JSON;
+* ``obs.add("sim.cycles", n)`` / ``obs.gauge_set`` / ``obs.observe`` —
+  registry writes;
+* ``with obs.capture() as cap: ...`` — scoped measurement: a fresh
+  registry is active for the calling thread inside the block, and on exit
+  ``cap.snapshot`` holds its :class:`~repro.obs.metrics.MetricsSnapshot`
+  (merged back into the enclosing registry, so totals still accumulate).
+  This is how the parallel evaluator produces per-candidate profiles.
+
+This package's core (metrics, tracing, this facade) is standard-library
+only, so any module in ``repro`` may import it without cycles;
+:mod:`repro.obs.export` (which reuses the GENSIM trace sinks) is loaded
+lazily.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracing import Span, SpanRecord, Tracer, validate_chrome_trace
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "tracer",
+    "span",
+    "add",
+    "gauge_set",
+    "observe",
+    "capture",
+    "Capture",
+    "merge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "validate_chrome_trace",
+    "SpanFileTrace",
+    "open_span_trace",
+    "DEFAULT_BUCKETS",
+]
+
+# ----------------------------------------------------------------------
+# Module state: one switch, one global registry/tracer pair, and a
+# thread-local stack of capture-scoped registries.
+# ----------------------------------------------------------------------
+
+_ENABLED = False
+_REGISTRY: Optional[MetricsRegistry] = None
+_TRACER: Optional[Tracer] = None
+_LOCK = threading.Lock()
+_LOCAL = threading.local()
+
+
+def enable(registry: Optional[MetricsRegistry] = None,
+           tracer: Optional[Tracer] = None) -> MetricsRegistry:
+    """Turn observability on (idempotent); returns the active registry.
+
+    A fresh registry/tracer pair is installed unless one is passed in —
+    repeated ``enable()`` calls keep accumulating into the existing pair.
+    """
+    global _ENABLED, _REGISTRY, _TRACER
+    with _LOCK:
+        if registry is not None:
+            _REGISTRY = registry
+        elif _REGISTRY is None:
+            _REGISTRY = MetricsRegistry()
+        if tracer is not None:
+            _TRACER = tracer
+        elif _TRACER is None:
+            _TRACER = Tracer(registry=_active_registry)
+        _ENABLED = True
+        return _REGISTRY
+
+
+def disable(reset: bool = False) -> None:
+    """Turn observability off; with ``reset=True`` also drop the state."""
+    global _ENABLED, _REGISTRY, _TRACER
+    with _LOCK:
+        _ENABLED = False
+        if reset:
+            _REGISTRY = None
+            _TRACER = None
+
+
+def enabled() -> bool:
+    """The module-level switch (the disabled path is a boolean check)."""
+    return _ENABLED
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The registry metric writes currently land in (thread-aware)."""
+    return _active_registry()
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer (None while disabled and never enabled)."""
+    return _TRACER
+
+
+def _active_registry() -> Optional[MetricsRegistry]:
+    if not _ENABLED:
+        return None
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        return stack[-1]
+    return _REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Instrumentation primitives (no-ops while disabled)
+# ----------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, category: str = "toolchain", **attrs):
+    """Open a stage span, or a shared no-op when disabled."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    active = _TRACER
+    if active is None:  # pragma: no cover - enable() always sets one
+        return _NULL_SPAN
+    return active.span(name, category, **attrs)
+
+
+def add(name: str, amount: float = 1.0) -> None:
+    """Increment counter *name* in the active registry (if enabled)."""
+    reg = _active_registry()
+    if reg is not None:
+        reg.add(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge *name* in the active registry (if enabled)."""
+    reg = _active_registry()
+    if reg is not None:
+        reg.set(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record *value* into histogram *name* in the active registry."""
+    reg = _active_registry()
+    if reg is not None:
+        reg.observe(name, value)
+
+
+def merge(snapshot: Optional[MetricsSnapshot]) -> None:
+    """Fold a snapshot (e.g. shipped back from a pool worker) into the
+    active registry; a no-op when disabled or *snapshot* is None."""
+    reg = _active_registry()
+    if reg is not None and snapshot is not None:
+        reg.merge(snapshot)
+
+
+class Capture:
+    """The result handle yielded by :func:`capture`."""
+
+    __slots__ = ("registry", "snapshot")
+
+    def __init__(self) -> None:
+        self.registry: Optional[MetricsRegistry] = None
+        self.snapshot: Optional[MetricsSnapshot] = None
+
+
+@contextmanager
+def capture() -> Iterator[Capture]:
+    """Scope metric writes from this thread into a private registry.
+
+    On exit, ``cap.snapshot`` holds the scoped measurements and they are
+    merged into the enclosing registry (another capture on this thread, or
+    the global one) so totals keep accumulating.  While disabled, the body
+    still runs but ``cap.snapshot`` stays None.
+    """
+    cap = Capture()
+    if not _ENABLED:
+        yield cap
+        return
+    outer = _active_registry()
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    cap.registry = MetricsRegistry()
+    stack.append(cap.registry)
+    try:
+        yield cap
+    finally:
+        if stack and stack[-1] is cap.registry:
+            stack.pop()
+        cap.snapshot = cap.registry.snapshot()
+        if outer is not None:
+            outer.merge(cap.snapshot)
+
+
+# ----------------------------------------------------------------------
+# Lazy exports that depend on other repro layers (avoid import cycles)
+# ----------------------------------------------------------------------
+
+
+def __getattr__(name: str):
+    if name in ("SpanFileTrace", "open_span_trace"):
+        from . import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

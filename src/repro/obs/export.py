@@ -1,0 +1,63 @@
+"""Span exporters built on the GENSIM trace-sink machinery.
+
+:class:`~repro.gensim.trace.TraceSink` already solves the "stream of
+records into a file, flushed and closed exactly once" problem for
+instruction traces, and every sink is a context manager.
+:class:`SpanFileTrace` reuses that lifecycle for observability spans: it is
+a :class:`~repro.gensim.trace.FileTrace` whose :meth:`format` renders
+:class:`~repro.obs.tracing.SpanRecord` objects instead of instruction
+records — the worked example of plugging obs output into an existing sink.
+
+::
+
+    with obs.open_span_trace("spans.txt") as sink:
+        for record in obs.tracer().finished():
+            sink.emit(record)
+
+This module imports from :mod:`repro.gensim`, so the :mod:`repro.obs`
+package loads it lazily (``obs.SpanFileTrace`` works, but nothing here is
+imported at package-import time).
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from ..gensim.trace import FileTrace
+from .tracing import SpanRecord
+
+__all__ = ["SpanFileTrace", "open_span_trace"]
+
+
+class SpanFileTrace(FileTrace):
+    """A file sink for finished spans: one fixed-width line per span."""
+
+    def __init__(self, stream: TextIO, close_stream: bool = False):
+        super().__init__(stream, close_stream)
+        self._header_written = False
+
+    def format(self, record: SpanRecord) -> str:
+        indent = "  " * record.depth
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(record.attrs.items())
+        )
+        return (
+            f"{record.start_us / 1000:12.3f}ms {record.dur_us / 1000:10.3f}ms"
+            f" {record.cpu_us / 1000:8.3f}ms  {indent}{record.name}"
+            f"{'  ' + attrs if attrs else ''}"
+        )
+
+    def emit(self, record: SpanRecord) -> None:  # type: ignore[override]
+        if not self._header_written:
+            header = (
+                f"{'start':>14} {'wall':>12} {'cpu':>10}  span"
+            )
+            self._stream.write(header + "\n" + "-" * len(header) + "\n")
+            self._header_written = True
+        super().emit(record)
+
+
+def open_span_trace(path: str) -> SpanFileTrace:
+    """Open *path* for writing and return a :class:`SpanFileTrace` on it."""
+    return SpanFileTrace(open(path, "w", encoding="utf-8"),
+                         close_stream=True)

@@ -1,0 +1,135 @@
+"""Report formatting: evaluation tables and exploration summaries."""
+
+import pytest
+
+from repro import obs
+from repro.cache import ArtifactCache
+from repro.explore.explorer import Candidate, ExplorationLog
+from repro.explore.metrics import CostWeights, Evaluation
+from repro.explore.report import evaluation_table, exploration_report
+from repro.obs.metrics import MetricsRegistry
+
+
+def _feasible(name, cycles=100):
+    return Evaluation(
+        name=name, feasible=True, cycles=cycles, cycle_ns=10.0,
+        die_size=50_000.0, power_mw=120.0,
+    )
+
+
+def _infeasible(name, reason):
+    return Evaluation(name=name, feasible=False, reason=reason)
+
+
+WEIGHTS = CostWeights(1.0, 0.5, 0.3)
+
+
+# ----------------------------------------------------------------------
+# evaluation_table
+# ----------------------------------------------------------------------
+
+
+def test_table_has_header_and_one_row_per_evaluation():
+    table = evaluation_table(
+        [_feasible("alpha"), _feasible("beta", 200)], WEIGHTS
+    )
+    lines = table.splitlines()
+    assert "architecture" in lines[0] and "cost" in lines[0]
+    assert lines[1].startswith("---")
+    assert len(lines) == 4
+    assert lines[2].startswith("alpha")
+    assert lines[3].startswith("beta")
+
+
+def test_infeasible_rows_show_reason_instead_of_numbers():
+    table = evaluation_table(
+        [
+            _feasible("ok"),
+            _infeasible("broken", "kernel 'sum': does not fit"),
+        ],
+        WEIGHTS,
+    )
+    row = next(l for l in table.splitlines() if l.startswith("broken"))
+    assert "infeasible: kernel 'sum': does not fit" in row
+    # no cost / die-size figures on an infeasible row
+    assert "inf" not in row.replace("infeasible", "")
+    assert "50,000" not in row
+
+
+def test_infeasible_only_table_still_renders():
+    table = evaluation_table(
+        [_infeasible("a", "x"), _infeasible("b", "y")], WEIGHTS
+    )
+    assert "a" in table and "infeasible: x" in table
+    assert "b" in table and "infeasible: y" in table
+
+
+# ----------------------------------------------------------------------
+# exploration_report
+# ----------------------------------------------------------------------
+
+
+class _Desc:
+    def __init__(self, name):
+        self.name = name
+
+
+def _log():
+    log = ExplorationLog(WEIGHTS)
+    log.accepted.append(
+        Candidate(_Desc("initial"), _feasible("initial", 200), "initial")
+    )
+    log.accepted.append(
+        Candidate(_Desc("leaner"), _feasible("leaner", 100), "drop field")
+    )
+    log.rejected.append(
+        Candidate(_Desc("bad"), _infeasible("bad", "no fit"), "halve IM")
+    )
+    log.iterations = 1
+    return log
+
+
+def test_report_lists_trajectory_and_improvement():
+    report = exploration_report(_log())
+    assert "1 iteration(s)" in report
+    assert "1 improvement step(s)" in report
+    assert "1 infeasible candidate(s)" in report
+    assert "step 0: [initial]" in report
+    assert "step 1: [drop field]" in report
+    assert "total improvement:" in report
+
+
+def test_report_without_cache_or_profiles_has_no_extra_sections():
+    report = exploration_report(_log())
+    assert "cache:" not in report
+    assert "stage profile" not in report
+
+
+def test_report_appends_cache_stats():
+    cache = ArtifactCache()
+    cache.get_or_build("sigtable", "k", lambda: 1)  # miss
+    cache.get_or_build("sigtable", "k", lambda: 1)  # hit
+    report = exploration_report(_log(), cache=cache)
+    assert "cache: 1 hits / 1 misses" in report
+    assert "sigtable" in report
+
+
+def test_report_appends_merged_stage_profile():
+    log = _log()
+    registry = MetricsRegistry()
+    registry.observe("stage.sim.run", 0.02)
+    registry.add("stage.sim.run.cpu_s", 0.02)
+    log.profiles["initial"] = registry.snapshot()
+    registry2 = MetricsRegistry()
+    registry2.observe("stage.sim.run", 0.03)
+    log.profiles["leaner"] = registry2.snapshot()
+    report = exploration_report(log)
+    assert "stage profile (2 candidate measurement(s)):" in report
+    assert "sim.run" in report
+    merged = log.merged_profile()
+    assert merged.histograms["stage.sim.run"].count == 2
+
+
+def test_obs_disabled_log_profile_is_none():
+    assert not obs.enabled()
+    assert _log().merged_profile() is None

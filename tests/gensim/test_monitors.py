@@ -1,0 +1,67 @@
+"""Unit tests for MonitorSet: hit counting, enable/disable, filtering."""
+
+from repro.gensim.monitors import MonitorSet
+
+
+def test_hit_counts_per_monitor_and_total():
+    monitors = MonitorSet()
+    a = monitors.watch("RF")
+    b = monitors.watch("DM")
+    monitors.notify("RF", 0, 0, 1)
+    monitors.notify("RF", 1, 0, 2)
+    monitors.notify("DM", 0, 0, 3)
+    assert a.hits == 2
+    assert b.hits == 1
+    assert monitors.hits_total == 3
+
+
+def test_disabled_monitor_does_not_count():
+    monitors = MonitorSet()
+    monitor = monitors.watch("RF")
+    monitors.notify("RF", 0, 0, 1)
+    monitor.enabled = False
+    monitors.notify("RF", 0, 1, 2)
+    assert monitor.hits == 1
+    assert monitors.hits_total == 1
+    monitor.enabled = True
+    monitors.notify("RF", 0, 2, 3)
+    assert monitor.hits == 2
+    assert monitors.hits_total == 2
+
+
+def test_index_filter_matches_only_that_element():
+    monitors = MonitorSet()
+    monitor = monitors.watch("RF", index=1)
+    monitors.notify("RF", 0, 0, 1)
+    monitors.notify("RF", 1, 0, 2)
+    monitors.notify("RF", 2, 0, 3)
+    assert monitor.hits == 1
+    assert monitors.hits_total == 1
+
+
+def test_unwatch_stops_counting():
+    monitors = MonitorSet()
+    monitor = monitors.watch("RF")
+    monitors.notify("RF", 0, 0, 1)
+    monitors.unwatch(monitor)
+    monitors.notify("RF", 0, 1, 2)
+    assert monitor.hits == 1
+    assert monitors.hits_total == 1
+
+
+def test_default_callback_formats_paper_style_message():
+    monitors = MonitorSet()
+    monitors.watch("RF", index=3)
+    monitors.notify("RF", 3, 0x10, 0x2a)
+    assert monitors.messages == ["monitor: RF[3] changed 0x10 -> 0x2a"]
+
+
+def test_clear_resets_messages_and_totals():
+    monitors = MonitorSet()
+    monitors.watch("RF")
+    monitors.notify("RF", 0, 0, 1)
+    monitors.clear()
+    assert monitors.hits_total == 0
+    assert monitors.messages == []
+    monitors.notify("RF", 0, 1, 2)  # no watchers left
+    assert monitors.hits_total == 0

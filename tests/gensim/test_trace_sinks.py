@@ -1,0 +1,64 @@
+"""TraceSink lifecycle: context-manager use and flush-on-close."""
+
+import io
+
+from repro.gensim.trace import (
+    FileTrace,
+    ListTrace,
+    TraceRecord,
+    TraceSink,
+    open_trace_file,
+)
+
+RECORD = TraceRecord(cycle=7, address=0x10, word=0xBEEF, disassembly="add")
+
+
+def test_base_sink_is_a_context_manager():
+    with TraceSink() as sink:
+        sink.emit(RECORD)  # ignored, but the protocol holds
+
+
+def test_list_trace_as_context_manager():
+    with ListTrace() as sink:
+        sink.emit(RECORD)
+    assert sink.records == [RECORD]
+
+
+def test_file_trace_context_manager_flushes_on_exit():
+    stream = io.StringIO()
+    with FileTrace(stream) as sink:
+        sink.emit(RECORD)
+    line = stream.getvalue()
+    assert "0x000010" in line and "add" in line
+    assert not stream.closed  # close_stream defaults to False
+
+
+def test_open_trace_file_closes_its_stream(tmp_path):
+    path = tmp_path / "trace.txt"
+    with open_trace_file(str(path)) as sink:
+        sink.emit(RECORD)
+        stream = sink._stream
+    assert stream.closed
+    assert "add" in path.read_text()
+
+
+def test_exception_inside_with_still_closes(tmp_path):
+    path = tmp_path / "trace.txt"
+    try:
+        with open_trace_file(str(path)) as sink:
+            sink.emit(RECORD)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert "add" in path.read_text()
+
+
+def test_format_is_the_subclass_extension_point():
+    class Custom(FileTrace):
+        def format(self, record):
+            return f"@{record.address}"
+
+    stream = io.StringIO()
+    with Custom(stream) as sink:
+        sink.emit(RECORD)
+    assert stream.getvalue() == "@16\n"

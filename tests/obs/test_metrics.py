@@ -1,0 +1,140 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.add("sim.cycles", 10)
+    reg.add("sim.cycles", 5)
+    snap = reg.snapshot()
+    assert snap.counters["sim.cycles"] == 15
+
+
+def test_counter_handle_shared():
+    reg = MetricsRegistry()
+    a = reg.counter("x")
+    b = reg.counter("x")
+    a.inc(2)
+    b.inc(3)
+    assert reg.snapshot().counters["x"] == 5
+
+
+def test_gauge_takes_last_value():
+    reg = MetricsRegistry()
+    reg.set("pool.workers", 4)
+    reg.set("pool.workers", 8)
+    assert reg.snapshot().gauges["pool.workers"] == 8
+
+
+def test_histogram_buckets_and_mean():
+    reg = MetricsRegistry()
+    reg.observe("lat", 0.0005)
+    reg.observe("lat", 0.05)
+    reg.observe("lat", 100.0)  # beyond the last bucket -> overflow slot
+    data = reg.snapshot().histograms["lat"]
+    assert data.count == 3
+    assert data.total == pytest.approx(100.0505)
+    assert sum(data.counts) == 3
+    assert data.counts[-1] == 1  # overflow
+    assert data.mean == pytest.approx(100.0505 / 3)
+
+
+def test_histogram_default_buckets_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_snapshot_merge_adds_counters_and_histograms():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.add("n", 1)
+    b.add("n", 2)
+    a.observe("h", 0.01)
+    b.observe("h", 0.02)
+    b.set("g", 7)
+    a.merge(b.snapshot())
+    snap = a.snapshot()
+    assert snap.counters["n"] == 3
+    assert snap.histograms["h"].count == 2
+    assert snap.gauges["g"] == 7
+
+
+def test_snapshot_merged_classmethod_deterministic():
+    parts = []
+    for i in range(3):
+        reg = MetricsRegistry()
+        reg.add("n", i + 1)
+        reg.observe("stage.sim.run", 0.01 * (i + 1))
+        parts.append(reg.snapshot())
+    merged = MetricsSnapshot.merged(parts)
+    assert merged.counters["n"] == 6
+    assert merged.histograms["stage.sim.run"].count == 3
+    # merging again in the same order gives identical content
+    again = MetricsSnapshot.merged(parts)
+    assert again.to_dict() == merged.to_dict()
+
+
+def test_merge_rejects_mismatched_bucket_layouts():
+    a = HistogramData(buckets=(0.1, 1.0), counts=[0, 0, 0])
+    b = HistogramData(buckets=(0.5, 5.0), counts=[1, 0, 0])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_snapshot_round_trips_through_dict_and_pickle():
+    reg = MetricsRegistry()
+    reg.add("c", 2)
+    reg.set("g", 1.5)
+    reg.observe("h", 0.3)
+    snap = reg.snapshot()
+    assert MetricsSnapshot.from_dict(snap.to_dict()).to_dict() == snap.to_dict()
+    clone = pickle.loads(pickle.dumps(snap))
+    assert clone.counters == snap.counters
+    assert clone.histograms["h"].count == 1
+
+
+def test_snapshot_is_a_copy_not_a_view():
+    reg = MetricsRegistry()
+    reg.add("c")
+    snap = reg.snapshot()
+    reg.add("c")
+    assert snap.counters["c"] == 1
+    assert reg.snapshot().counters["c"] == 2
+
+
+def test_stage_table_lists_stage_histograms_only():
+    reg = MetricsRegistry()
+    reg.observe("stage.sim.run", 0.5)
+    reg.observe("stage.sim.run", 0.25)
+    reg.add("stage.sim.run.cpu_s", 0.6)
+    reg.observe("unrelated", 1.0)
+    snap = reg.snapshot()
+    assert snap.stage_names() == ["sim.run"]
+    table = snap.stage_table()
+    assert "sim.run" in table
+    assert "unrelated" not in table
+    assert "2" in table  # the call count column
+
+
+def test_registry_clear():
+    reg = MetricsRegistry()
+    reg.add("c")
+    reg.observe("h", 1.0)
+    reg.clear()
+    snap = reg.snapshot()
+    assert not snap.counters and not snap.histograms
+
+
+def test_report_mentions_counters():
+    reg = MetricsRegistry()
+    reg.add("sim.runs", 3)
+    assert "sim.runs" in reg.report()

@@ -1,0 +1,148 @@
+"""Unit tests for the repro.obs span tracer and Chrome trace export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, validate_chrome_trace
+
+
+def test_span_records_wall_and_cpu_time():
+    tracer = Tracer()
+    with tracer.span("work"):
+        sum(range(1000))
+    (record,) = tracer.finished()
+    assert record.name == "work"
+    assert record.dur_us >= 0
+    assert record.cpu_us >= 0
+    assert record.depth == 0
+
+
+def test_spans_nest_and_record_depth():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    records = {r.name: r for r in tracer.finished()}
+    assert records["outer"].depth == 0
+    assert records["inner"].depth == 1
+    # inner finishes first (completion order)
+    assert [r.name for r in tracer.finished()] == ["inner", "outer"]
+
+
+def test_span_attributes_and_set():
+    tracer = Tracer()
+    with tracer.span("stage", candidate="spam") as span:
+        span.set(cycles=42)
+    (record,) = tracer.finished()
+    assert record.attrs == {"candidate": "spam", "cycles": 42}
+
+
+def test_finished_spans_feed_the_registry():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
+    with tracer.span("sim.run"):
+        pass
+    snap = registry.snapshot()
+    assert snap.histograms["stage.sim.run"].count == 1
+    assert "stage.sim.run.cpu_s" in snap.counters
+
+
+def test_registry_provider_callable():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=lambda: registry)
+    with tracer.span("x"):
+        pass
+    assert registry.snapshot().histograms["stage.x"].count == 1
+
+
+def test_threads_keep_separate_span_stacks():
+    tracer = Tracer()
+
+    def worker():
+        with tracer.span("threaded"):
+            pass
+
+    with tracer.span("main"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    records = {r.name: r for r in tracer.finished()}
+    # the thread's span is top-level on its own stack, not nested in main's
+    assert records["threaded"].depth == 0
+    assert records["threaded"].thread_id != records["main"].thread_id
+
+
+def test_chrome_trace_shape_and_validation():
+    tracer = Tracer()
+    with tracer.span("a", category="toolchain", file="x.isdl"):
+        with tracer.span("b"):
+            pass
+    payload = tracer.chrome_trace()
+    assert payload["displayTimeUnit"] == "ms"
+    names = validate_chrome_trace(payload)
+    assert names == ["a", "b"]
+    for event in payload["traceEvents"]:
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert "cpu_ms" in event["args"]
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    tracer = Tracer()
+    with tracer.span("stage"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == ["stage"]
+
+
+def test_validate_rejects_malformed_payloads():
+    with pytest.raises(ValueError):
+        validate_chrome_trace("nope")
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": "nope"})
+    with pytest.raises(ValueError):
+        validate_chrome_trace([{"name": "x"}])  # missing ph/ts/pid/tid
+    with pytest.raises(ValueError):
+        validate_chrome_trace([
+            {"name": "x", "cat": "c", "ph": "X", "ts": 0.0,
+             "pid": 1, "tid": 1}  # complete event without dur
+        ])
+    with pytest.raises(ValueError):
+        validate_chrome_trace([
+            {"name": "x", "cat": "c", "ph": "X", "ts": -1.0, "dur": 1.0,
+             "pid": 1, "tid": 1}
+        ])
+
+
+def test_validate_accepts_bare_array_form():
+    events = [
+        {"name": "x", "cat": "c", "ph": "X", "ts": 0.0, "dur": 2.5,
+         "pid": 1, "tid": 7},
+    ]
+    assert validate_chrome_trace(events) == ["x"]
+
+
+def test_text_profile_aggregates_calls():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("repeat"):
+            pass
+    profile = tracer.text_profile()
+    assert "repeat" in profile
+    assert "3" in profile
+
+
+def test_clear_and_stage_names():
+    tracer = Tracer()
+    with tracer.span("z"):
+        pass
+    with tracer.span("a"):
+        pass
+    assert tracer.stage_names() == ["a", "z"]
+    tracer.clear()
+    assert tracer.finished() == []
