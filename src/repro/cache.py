@@ -237,6 +237,21 @@ class ArtifactCache:
                                use_constraints=use_constraints),
         )
 
+    def block_table(self, desc, words, origin: int,
+                    builder: Callable[[], Any],
+                    fp: Optional[str] = None):
+        """Memoized :class:`repro.gensim.blocksim.BlockTable`.
+
+        Keyed by (description fingerprint, program words, origin): block
+        functions close over burned constants only, so one lazily filled
+        table serves every simulator measuring the same candidate.
+        Memory layer only — compiled code objects do not pickle.
+        """
+        fp = fp or self.description_fingerprint(desc)
+        return self.get_or_build(
+            "blocktable", (fp, tuple(words), origin), builder
+        )
+
     def evaluation(self, key: Hashable, builder: Callable[[], Any]):
         """Memoized whole-candidate evaluation (see explore.metrics)."""
         return self.get_or_build("evaluation", key, builder)

@@ -94,10 +94,12 @@ class Evaluation:
 
 
 def evaluation_key(desc: ast.Description, kernels: Sequence[Kernel],
-                   max_steps: int, fp: Optional[str] = None):
+                   max_steps: int, fp: Optional[str] = None,
+                   sim_backend: str = "xsim"):
     """The cache key identifying one candidate measurement."""
     fp = fp or fingerprint(desc)
-    return (fp, tuple(kernel_fingerprint(k) for k in kernels), max_steps)
+    return (fp, tuple(kernel_fingerprint(k) for k in kernels), max_steps,
+            sim_backend)
 
 
 def evaluate(
@@ -108,6 +110,7 @@ def evaluate(
     *,
     weights: Optional[CostWeights] = None,
     cache: Optional[ArtifactCache] = None,
+    sim_backend: str = "xsim",
 ) -> Evaluation:
     """Run the full Figure-1 measurement pipeline on one candidate.
 
@@ -115,19 +118,27 @@ def evaluate(
     :meth:`Evaluation.cost` can be called without repeating them; *cache*
     (keyword-only) memoizes generated artifacts and whole evaluations by
     structural fingerprint instead of rebuilding them internally.
+    *sim_backend* selects the executor (see
+    :func:`repro.gensim.simulator_for`): ``"xsim"`` keeps the full
+    utilization statistics that the improvement heuristics read;
+    ``"block"`` trades them for raw cycle-count speed — right for sweeps
+    scored on runtime/area/power alone.  Backends are cycle-identical, but
+    the key still separates them so cached evaluations carry the stats
+    their backend actually produced.
     """
     label = name or desc.name
     if cache is None:
         with obs.span("explore.evaluate", candidate=label):
             return _evaluate_uncached(desc, kernels, max_steps, label,
-                                      weights)
+                                      weights, sim_backend=sim_backend)
     with obs.span("explore.evaluate", candidate=label):
         fp = fingerprint(desc)
-        key = evaluation_key(desc, kernels, max_steps, fp)
+        key = evaluation_key(desc, kernels, max_steps, fp, sim_backend)
         evaluation = cache.evaluation(
             key,
             lambda: _evaluate_uncached(desc, kernels, max_steps, label,
-                                       weights, cache=cache, fp=fp),
+                                       weights, cache=cache, fp=fp,
+                                       sim_backend=sim_backend),
         )
     # A hit may carry another run's label/weights; normalize without
     # touching the cached instance.
@@ -144,6 +155,7 @@ def _evaluate_uncached(
     weights: Optional[CostWeights],
     cache: Optional[ArtifactCache] = None,
     fp: Optional[str] = None,
+    sim_backend: str = "xsim",
 ) -> Evaluation:
     fp = fp or (fingerprint(desc) if cache is not None else "")
     # 1. Retarget the compiler; an unfit ISA is a legitimate negative result.
@@ -179,7 +191,16 @@ def _evaluate_uncached(
     merged_stats: Optional[SimulationStats] = None
     per_kernel: Dict[str, int] = {}
     for kernel_name, program in programs:
-        sim = XSim(desc, table=table, core=core)
+        if sim_backend == "xsim":
+            sim = XSim(desc, table=table, core=core)
+        elif sim_backend == "block":
+            from ..gensim.blocksim import BlockSimulator
+
+            sim = BlockSimulator(desc, table=table, cache=cache)
+        else:
+            from ..gensim.protocol import simulator_for
+
+            sim = simulator_for(desc, sim_backend, table=table)
         try:
             sim.load_words(program.words, program.origin)
             stats = sim.run_to_completion(max_steps)

@@ -87,11 +87,13 @@ _WORKER_STATE: dict = {}
 
 def _pool_init(kernels: Sequence[Kernel], max_steps: int,
                weights: Optional[CostWeights],
-               obs_enabled: bool = False) -> None:
+               obs_enabled: bool = False,
+               sim_backend: str = "xsim") -> None:
     _WORKER_STATE["kernels"] = list(kernels)
     _WORKER_STATE["max_steps"] = max_steps
     _WORKER_STATE["weights"] = weights
     _WORKER_STATE["cache"] = ArtifactCache(max_entries=128)
+    _WORKER_STATE["sim_backend"] = sim_backend
     if obs_enabled:
         obs.enable()
 
@@ -111,6 +113,7 @@ def _pool_evaluate(index: int, desc: ast.Description,
                 name=label,
                 weights=_WORKER_STATE["weights"],
                 cache=_WORKER_STATE["cache"],
+                sim_backend=_WORKER_STATE.get("sim_backend", "xsim"),
             )
         except Exception as exc:  # noqa: BLE001 — failure capture is the point
             error = _format_error(exc)
@@ -134,6 +137,7 @@ class ParallelEvaluator:
         max_steps: int = 500_000,
         max_workers: Optional[int] = None,
         mode: str = "auto",
+        sim_backend: str = "xsim",
     ):
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown evaluator mode {mode!r}")
@@ -143,6 +147,7 @@ class ParallelEvaluator:
         self.max_steps = max_steps
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.mode = mode
+        self.sim_backend = sim_backend
         self._pool = None
         self._pool_kind: Optional[str] = None
 
@@ -156,6 +161,7 @@ class ParallelEvaluator:
         return evaluate(
             desc, self.kernels, self.max_steps,
             name=label, weights=self.weights, cache=self.cache,
+            sim_backend=self.sim_backend,
         )
 
     def evaluate_many(
@@ -226,7 +232,8 @@ class ParallelEvaluator:
         label = request.display_label
         try:
             key = evaluation_key(request.desc, self.kernels,
-                                 self.max_steps)
+                                 self.max_steps,
+                                 sim_backend=self.sim_backend)
         except Exception:  # malformed candidate: let dispatch record it
             return None
         cached = self.cache.peek("evaluation", key)
@@ -319,7 +326,8 @@ class ParallelEvaluator:
         if self.cache is None:
             return evaluation
         key = evaluation_key(request.desc, self.kernels, self.max_steps,
-                             evaluation.fingerprint or None)
+                             evaluation.fingerprint or None,
+                             sim_backend=self.sim_backend)
         return self.cache.evaluation(key, lambda: evaluation)
 
     def _ensure_pool(self, kind: str):
@@ -340,7 +348,7 @@ class ParallelEvaluator:
                 max_workers=self.max_workers,
                 initializer=_pool_init,
                 initargs=(self.kernels, self.max_steps, self.weights,
-                          obs.enabled()),
+                          obs.enabled(), self.sim_backend),
             )
         self._pool_kind = kind
         return self._pool

@@ -1,0 +1,272 @@
+"""Control-flow analysis over decoded programs (basic-block discovery).
+
+The block-compiled simulator (:mod:`repro.gensim.blocksim`) translates
+straight-line instruction runs into single Python functions, so it needs
+to know where control flow can leave the straight line.  ISDL has no
+explicit branch class — any operation may assign the storage designated
+``PROGRAM_COUNTER`` — so the analysis below walks the RTL ASTs of each
+decoded instruction (like :mod:`repro.gensim.hazards` does for stalls)
+and classifies it:
+
+* does any path write the program counter (a *terminator*)?
+* is every such write conditional (an ``if``-guarded branch)?
+* does it write instruction memory (self-modifying code) or the halt flag?
+* which base storages does it touch, and what is its worst write latency?
+
+Block discovery is *dynamic*: a block is keyed by its entry offset and
+extends to the first terminator or the last program word, stepping by each
+instruction's size.  Branching into the middle of a previously discovered
+block simply discovers a new (overlapping) block — no leader analysis is
+required for correctness, only for the static partition that
+:func:`static_blocks` offers to tests and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..isdl import ast, rtl
+from .disassembler import DecodedInstruction
+from .hazards import _freeze
+
+__all__ = [
+    "InstructionFlow",
+    "BasicBlock",
+    "ControlFlowAnalyzer",
+    "block_span",
+    "static_blocks",
+]
+
+#: Safety valve for pathological straight-line programs: a block longer
+#: than this is split (the tail becomes the next block's entry).
+MAX_BLOCK_LEN = 64
+
+
+@dataclass(frozen=True)
+class InstructionFlow:
+    """Static control-flow summary of one decoded instruction."""
+
+    #: some path may assign the program counter (block terminator)
+    writes_pc: bool
+    #: every PC write sits under at least one ``if`` (conditional branch)
+    conditional_pc: bool
+    #: writes instruction memory — self-modifying code
+    writes_imem: bool
+    #: writes the halt flag (directly or through an alias)
+    writes_halt: bool
+    #: base storages read or written (aliases resolved)
+    storages: FrozenSet[str]
+    #: worst-case write latency of the instruction's operations
+    max_latency: int
+    #: instruction size in words (PC advance)
+    size: int
+    #: a destination the analysis could not resolve statically; the block
+    #: compiler must not include this instruction in a fast block
+    unresolved: bool = False
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A straight-line run of instructions, keyed by its entry offset."""
+
+    start: int
+    #: member instruction word offsets, in execution order
+    offsets: Tuple[int, ...]
+    #: the last member may write the PC (False: the block ends because
+    #: the program — or the length cap — does)
+    ends_in_branch: bool
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+
+class ControlFlowAnalyzer:
+    """Derives :class:`InstructionFlow` facts from operation RTL."""
+
+    def __init__(self, desc: ast.Description):
+        self.desc = desc
+        self._pc = self._alias_base(desc.program_counter().name)
+        self._imem = desc.instruction_memory().name
+        halt = desc.attributes.get("halt_flag")
+        self._halt = self._alias_base(halt) if halt else None
+        self._cache: Dict[Tuple, InstructionFlow] = {}
+
+    # ------------------------------------------------------------------
+    # Per-instruction analysis
+    # ------------------------------------------------------------------
+
+    def flow(self, decoded: DecodedInstruction) -> InstructionFlow:
+        key = tuple(
+            (op.field, op.op_name,
+             tuple(sorted((n, _freeze(v)) for n, v in op.operands.items())))
+            for op in decoded.operations
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        scan = _FlowScan()
+        size = 1
+        latency = 1
+        for dop in decoded.operations:
+            op = self.desc.operation(dop.field, dop.op_name)
+            size = max(size, op.costs.size)
+            latency = max(latency, op.timing.latency)
+            bindings = self._nt_bindings(op.params, dop.operands)
+            self._scan_stmts(list(op.action) + list(op.side_effect),
+                             bindings, scan, guarded=False)
+            for option, sub in bindings.values():
+                latency = max(latency, option.timing.latency)
+                self._scan_stmts(
+                    list(option.action) + list(option.side_effect),
+                    sub, scan, guarded=False,
+                )
+        flow = InstructionFlow(
+            writes_pc=scan.writes_pc,
+            conditional_pc=scan.writes_pc and scan.all_pc_guarded,
+            writes_imem=scan.writes_imem,
+            writes_halt=scan.writes_halt,
+            storages=frozenset(scan.storages),
+            max_latency=latency,
+            size=size,
+            unresolved=scan.unresolved,
+        )
+        self._cache[key] = flow
+        return flow
+
+    def flows_for_program(
+        self, program: Sequence[Optional[DecodedInstruction]]
+    ) -> List[Optional[InstructionFlow]]:
+        """Per-address flow facts (None for unoccupied words)."""
+        return [self.flow(d) if d is not None else None for d in program]
+
+    # ------------------------------------------------------------------
+    # RTL walking
+    # ------------------------------------------------------------------
+
+    def _nt_bindings(self, params, operands):
+        """param name -> (bound option, its own bindings) for NT params."""
+        bindings = {}
+        for param in params:
+            ptype = self.desc.param_type(param)
+            if isinstance(ptype, ast.NonTerminal):
+                label, sub = operands[param.name]
+                option = ptype.option(label)
+                bindings[param.name] = (
+                    option, self._nt_bindings(option.params, sub)
+                )
+        return bindings
+
+    def _scan_stmts(self, stmts, bindings, scan, guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, rtl.Assign):
+                self._scan_reads(stmt.expr, scan)
+                self._scan_dest(stmt.dest, bindings, scan, guarded)
+            elif isinstance(stmt, rtl.If):
+                self._scan_reads(stmt.cond, scan)
+                self._scan_stmts(stmt.then, bindings, scan, guarded=True)
+                self._scan_stmts(stmt.orelse, bindings, scan, guarded=True)
+
+    def _scan_dest(self, dest, bindings, scan, guarded: bool) -> None:
+        if isinstance(dest, rtl.NtLV):
+            return  # ``$$`` — the option's value, not a storage
+        if isinstance(dest, rtl.ParamLV):
+            binding = bindings.get(dest.name)
+            target = binding[0].storage_target() if binding else None
+            if target is None:
+                scan.unresolved = True
+                return
+            dest = target
+        if dest.index is not None:
+            self._scan_reads(dest.index, scan)
+        base = self._alias_base(dest.storage)
+        scan.storages.add(base)
+        if base == self._pc:
+            scan.writes_pc = True
+            if not guarded:
+                scan.all_pc_guarded = False
+        if base == self._imem:
+            scan.writes_imem = True
+        if self._halt is not None and base == self._halt:
+            scan.writes_halt = True
+
+    def _scan_reads(self, expr, scan) -> None:
+        for node in rtl.walk_exprs(expr):
+            if isinstance(node, rtl.StorageRead):
+                scan.storages.add(self._alias_base(node.storage))
+
+    def _alias_base(self, name: str) -> str:
+        alias = self.desc.aliases.get(name)
+        return alias.storage if alias is not None else name
+
+
+class _FlowScan:
+    """Mutable accumulator for one instruction's scan."""
+
+    __slots__ = ("writes_pc", "all_pc_guarded", "writes_imem",
+                 "writes_halt", "storages", "unresolved")
+
+    def __init__(self):
+        self.writes_pc = False
+        self.all_pc_guarded = True
+        self.writes_imem = False
+        self.writes_halt = False
+        self.storages = set()
+        self.unresolved = False
+
+
+# ---------------------------------------------------------------------------
+# Block discovery
+# ---------------------------------------------------------------------------
+
+
+def block_span(
+    flows: Sequence[Optional[InstructionFlow]],
+    start: int,
+    max_len: int = MAX_BLOCK_LEN,
+) -> Tuple[int, ...]:
+    """Word offsets of the dynamic basic block entered at *start*.
+
+    The block runs from *start* through the first terminator (inclusive),
+    the last program word, or the length cap, stepping by each
+    instruction's size.  Empty when *start* is out of range or lands on an
+    unoccupied word.
+    """
+    offsets: List[int] = []
+    offset = start
+    n = len(flows)
+    while 0 <= offset < n and len(offsets) < max_len:
+        flow = flows[offset]
+        if flow is None:
+            break
+        offsets.append(offset)
+        if flow.writes_pc or flow.unresolved:
+            break
+        offset += flow.size
+    return tuple(offsets)
+
+
+def static_blocks(
+    flows: Sequence[Optional[InstructionFlow]],
+    max_len: int = MAX_BLOCK_LEN,
+) -> List[BasicBlock]:
+    """Partition a program into fall-through blocks starting at offset 0.
+
+    This is the *static* view (used by tests and reports); the simulator's
+    dispatch cache discovers blocks dynamically and may add overlapping
+    entries for branch targets that land mid-block.
+    """
+    blocks: List[BasicBlock] = []
+    offset = 0
+    n = len(flows)
+    while 0 <= offset < n:
+        span = block_span(flows, offset, max_len)
+        if not span:
+            break
+        last = flows[span[-1]]
+        blocks.append(BasicBlock(
+            start=offset, offsets=span,
+            ends_in_branch=bool(last.writes_pc),
+        ))
+        offset = span[-1] + last.size
+    return blocks

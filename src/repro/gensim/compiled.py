@@ -35,12 +35,45 @@ ExprFn = Callable[[dict, dict], int]
 StmtFn = Callable[[dict, dict, list], None]
 
 
+def _make_commit(name: str, width: int, hi, lo, is_array: bool):
+    """Build the commit closure for one resolved write location.
+
+    Shared by the per-instruction closure compiler below and the
+    block compiler's latency-residue slots
+    (:mod:`repro.gensim.blocksim`), so both paths apply writes with
+    identical masking semantics.
+    """
+    if hi is None:
+        if is_array:
+            def commit_fn(scalars, arrays, index, value,
+                          _n=name, _m=mask(width)):
+                arrays[_n][index] = value & _m
+        else:
+            def commit_fn(scalars, arrays, index, value,
+                          _n=name, _m=mask(width)):
+                scalars[_n] = value & _m
+    else:
+        effective_lo = lo if lo is not None else hi
+
+        if is_array:
+            def commit_fn(scalars, arrays, index, value,
+                          _n=name, _hi=hi, _lo=effective_lo):
+                arrays[_n][index] = set_bits(
+                    arrays[_n][index], _hi, _lo, value
+                )
+        else:
+            def commit_fn(scalars, arrays, index, value,
+                          _n=name, _hi=hi, _lo=effective_lo):
+                scalars[_n] = set_bits(scalars[_n], _hi, _lo, value)
+    return commit_fn
+
+
 class CompiledSimulator:
     """A program-specialized, cycle-accurate, bit-true simulator."""
 
-    def __init__(self, desc: ast.Description):
+    def __init__(self, desc: ast.Description, table=None):
         self.desc = desc
-        self.disassembler = Disassembler(desc)
+        self.disassembler = Disassembler(desc, table)
         self.hazards = HazardAnalyzer(desc)
         self._core = ProcessingCore(desc)  # reused for operand binding
         self.scalars: Dict[str, int] = {}
@@ -289,28 +322,7 @@ class CompiledSimulator:
             else:
                 index_fn = lambda s, a, _v=fixed_index: _v
 
-        if hi is None:
-            if is_array:
-                def commit_fn(scalars, arrays, index, value,
-                              _n=name, _m=mask(width)):
-                    arrays[_n][index] = value & _m
-            else:
-                def commit_fn(scalars, arrays, index, value,
-                              _n=name, _m=mask(width)):
-                    scalars[_n] = value & _m
-        else:
-            effective_lo = lo if lo is not None else hi
-
-            if is_array:
-                def commit_fn(scalars, arrays, index, value,
-                              _n=name, _hi=hi, _lo=effective_lo):
-                    arrays[_n][index] = set_bits(
-                        arrays[_n][index], _hi, _lo, value
-                    )
-            else:
-                def commit_fn(scalars, arrays, index, value,
-                              _n=name, _hi=hi, _lo=effective_lo):
-                    scalars[_n] = set_bits(scalars[_n], _hi, _lo, value)
+        commit_fn = _make_commit(name, width, hi, lo, is_array)
 
         def run(scalars, arrays, sink, _vfn=value_fn, _ifn=index_fn,
                 _commit=commit_fn, _delay=delay, _phase=phase):
@@ -450,13 +462,22 @@ class CompiledSimulator:
         halt = self._halt
         steps = 0
         sink: List = []
-        while steps < max_steps:
+        while True:
             # commit due writes
             while pending and pending[0][0] <= self.cycle:
                 _, _, _, commit, index, value = heapq.heappop(pending)
                 commit(scalars, arrays, index, value)
             if halt is not None and scalars.get(halt, 0):
                 break
+            if steps >= max_steps:
+                # like the interpretive scheduler: finish the in-flight
+                # writes, then report the step-budget failure
+                while pending:
+                    _, _, _, commit, index, value = heapq.heappop(pending)
+                    commit(scalars, arrays, index, value)
+                raise SimulationError(
+                    f"program did not halt within {max_steps} steps"
+                )
             address = scalars[pc_name]
             offset = address - origin
             if not 0 <= offset < len(program):

@@ -10,9 +10,11 @@ non-terminal return values (``disassemble_ntl``).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..encoding.signature import Operand, Signature, SignatureTable
 from ..errors import DisassemblyError
 from ..isdl import ast
@@ -46,21 +48,50 @@ class DecodedInstruction:
 
 
 class Disassembler:
-    """The disassembly function derived from the bitfield assignments."""
+    """The disassembly function derived from the bitfield assignments.
+
+    Decoding is memoized by instruction word: real programs repeat words
+    (loop bodies re-loaded across candidates, ``nop`` padding, common
+    register moves), and :class:`DecodedInstruction` is immutable, so one
+    decode per distinct word serves the whole session.  The LRU is
+    per-instance — signatures depend on the description — and bounded by
+    ``cache_size`` (0 disables memoization).
+    """
+
+    DEFAULT_CACHE_SIZE = 4096
 
     def __init__(self, desc: ast.Description,
-                 table: Optional[SignatureTable] = None):
+                 table: Optional[SignatureTable] = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE):
         self.desc = desc
         self.table = table or SignatureTable(desc)
+        self.cache_size = cache_size
+        self.decode_hits = 0
+        self.decode_misses = 0
+        self._cache: "OrderedDict[int, DecodedInstruction]" = OrderedDict()
 
     # -- paper Fig. 4: disassemble(I) ---------------------------------------
 
     def disassemble(self, word: int) -> DecodedInstruction:
         """Decode one instruction word into per-field operations."""
+        if self.cache_size:
+            cached = self._cache.get(word)
+            if cached is not None:
+                self._cache.move_to_end(word)
+                self.decode_hits += 1
+                obs.add("disasm.decode_hits")
+                return cached
         operations: List[DecodedOperation] = []
         for fld in self.desc.fields:
             operations.append(self._disassemble_field(word, fld))
-        return DecodedInstruction(word, tuple(operations))
+        decoded = DecodedInstruction(word, tuple(operations))
+        if self.cache_size:
+            self.decode_misses += 1
+            obs.add("disasm.decode_misses")
+            self._cache[word] = decoded
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return decoded
 
     # -- paper Fig. 4: disassemble_field(s, f) ------------------------------
 

@@ -54,8 +54,10 @@ def simulator_for(desc, backend: str = "xsim", **kwargs) -> "Simulator":
     """Build a simulator for *desc* by backend name.
 
     ``"xsim"`` (generated fast core), ``"interpretive"`` (XSim walking the
-    RTL AST) or ``"compiled"`` (program-specialized closures).
+    RTL AST), ``"compiled"`` (program-specialized closures) or ``"block"``
+    (basic-block JIT over exec-generated Python).
     """
+    from .blocksim import BlockSimulator
     from .compiled import CompiledSimulator
     from .xsim import XSim
 
@@ -65,4 +67,6 @@ def simulator_for(desc, backend: str = "xsim", **kwargs) -> "Simulator":
         return XSim(desc, core="interpretive", **kwargs)
     if backend == "compiled":
         return CompiledSimulator(desc, **kwargs)
+    if backend == "block":
+        return BlockSimulator(desc, **kwargs)
     raise ValueError(f"unknown simulator backend {backend!r}")

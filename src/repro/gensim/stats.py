@@ -8,7 +8,6 @@ improvement heuristics (:mod:`repro.explore`).
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field, fields
 from typing import Dict
@@ -90,10 +89,9 @@ class RunResult(SimulationStats):
     :meth:`XSim.run` historically returned the stop reason as a bare
     string; it now returns this — a full :class:`SimulationStats` with the
     reason in :attr:`halt_reason` (``"halted"``, ``"breakpoint"`` or
-    ``"max_steps"``).  Comparing a RunResult against a string still works
-    as a deprecation shim (it compares the halt reason) so existing
-    ``sim.run() == "halted"`` call sites keep their meaning while they
-    migrate.
+    ``"max_steps"``).  Inspect ``result.halt_reason`` to branch on the
+    stop reason; comparing the result to a bare string is no longer
+    supported (the deprecation shim was removed once call sites migrated).
     """
 
     halt_reason: str = ""
@@ -109,14 +107,6 @@ class RunResult(SimulationStats):
         return cls(halt_reason=halt_reason, **values)
 
     def __eq__(self, other):
-        if isinstance(other, str):
-            warnings.warn(
-                "comparing XSim.run() results to strings is deprecated;"
-                " use result.halt_reason instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return self.halt_reason == other
         if isinstance(other, SimulationStats):
             base = [f.name for f in fields(SimulationStats)]
             if isinstance(other, RunResult) and (

@@ -100,8 +100,7 @@ class XSim:
 
         The result is a :class:`RunResult` — a full
         :class:`SimulationStats` whose :attr:`~RunResult.halt_reason` field
-        carries what used to be the bare string return value.  Comparing
-        the result against a string still works (deprecated shim).
+        carries what used to be the bare string return value.
         """
         monitors = self.state.monitors
         hits_before = monitors.hits_total

@@ -170,3 +170,36 @@ def test_explorer_cache_shared_across_explore_calls():
 def test_unknown_mode_rejected():
     with pytest.raises(ValueError):
         ParallelEvaluator([sum_kernel()], mode="quantum")
+
+
+# ----------------------------------------------------------------------
+# Simulator backend selection
+# ----------------------------------------------------------------------
+
+
+def test_block_backend_matches_xsim_cycles():
+    kernels = [sum_kernel()]
+    with ParallelEvaluator(kernels, mode="serial") as ref, \
+            ParallelEvaluator(kernels, mode="serial",
+                              sim_backend="block") as fast:
+        want = ref.evaluate_many(requests())
+        got = fast.evaluate_many(requests())
+    for a, b in zip(got, want):
+        assert a.ok and b.ok
+        assert a.evaluation.cycles == b.evaluation.cycles
+        assert a.evaluation.stall_cycles == b.evaluation.stall_cycles
+        assert a.evaluation.per_kernel_cycles == b.evaluation.per_kernel_cycles
+
+
+def test_backend_is_part_of_the_evaluation_key():
+    cache = ArtifactCache()
+    kernels = [sum_kernel()]
+    desc = description_for("risc16")
+    with ParallelEvaluator(kernels, cache=cache, mode="serial") as ev:
+        ev.evaluate_many([EvalRequest(desc)])
+    with ParallelEvaluator(kernels, cache=cache, mode="serial",
+                           sim_backend="block") as ev:
+        (result,) = ev.evaluate_many([EvalRequest(desc)])
+    # a different backend is a different measurement, not a cache hit
+    assert not result.cached
+    assert cache.stats.misses_by_kind["evaluation"] == 2

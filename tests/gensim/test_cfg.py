@@ -1,0 +1,143 @@
+"""Tests for control-flow analysis and basic-block discovery."""
+
+import pytest
+
+from repro.arch import description_for
+from repro.arch.workloads import risc16_sum_loop
+from repro.asm import Assembler
+from repro.gensim.cfg import (
+    MAX_BLOCK_LEN,
+    BasicBlock,
+    ControlFlowAnalyzer,
+    block_span,
+    static_blocks,
+)
+from repro.gensim.disassembler import Disassembler
+
+
+def _flows(desc, source):
+    program = Assembler(desc).assemble(source)
+    disasm = Disassembler(desc)
+    decoded = [disasm.disassemble(word) for word in program.words]
+    analyzer = ControlFlowAnalyzer(desc)
+    return analyzer.flows_for_program(decoded), analyzer, decoded
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction classification
+# ---------------------------------------------------------------------------
+
+
+def test_risc16_flow_classification(risc16_desc):
+    source = """
+        add r1, r2, r3
+loop:   bne loop - .
+        jmp loop
+        halt
+"""
+    flows, _, _ = _flows(risc16_desc, source)
+    add, bne, jmp, halt = flows
+
+    assert not add.writes_pc and not add.writes_halt
+    assert "RF" in add.storages
+
+    assert bne.writes_pc and bne.conditional_pc
+
+    assert jmp.writes_pc and not jmp.conditional_pc
+
+    assert halt.writes_halt
+    assert not halt.writes_pc
+
+    for flow in flows:
+        assert not flow.writes_imem
+        assert not flow.unresolved
+        assert flow.size == 1
+
+
+def test_flow_sees_through_halt_alias(risc16_desc):
+    """halt sets the flag through whatever name the description uses —
+    the analyzer must resolve aliases to the same base storage."""
+    flows, analyzer, _ = _flows(risc16_desc, "halt\n")
+    assert flows[0].writes_halt
+    halt_name = risc16_desc.attributes["halt_flag"]
+    assert analyzer._alias_base(halt_name) in flows[0].storages
+
+
+def test_flow_latency_and_storage_sets(spam_desc):
+    flows, _, _ = _flows(spam_desc, "fmul r1, r2, r3\nhalt\n")
+    fmul = flows[0]
+    assert fmul.max_latency >= 3  # SPAM's pipelined multiplier
+    assert "RF" in fmul.storages
+
+
+def test_flow_results_are_cached(risc16_desc):
+    _, analyzer, decoded = _flows(
+        risc16_desc, "add r1, r2, r3\nadd r1, r2, r3\nhalt\n"
+    )
+    first = analyzer.flow(decoded[0])
+    second = analyzer.flow(decoded[1])
+    assert first is second  # identical words share one cache entry
+
+
+# ---------------------------------------------------------------------------
+# Block discovery
+# ---------------------------------------------------------------------------
+
+
+def test_block_span_stops_at_terminator(risc16_desc):
+    flows, _, _ = _flows(risc16_desc, """
+        ldi r0, #3
+        ldi r1, #0
+loop:   add r1, r1, r0
+        sub r0, r0, #1
+        bne loop - .
+        halt
+""")
+    assert block_span(flows, 0) == (0, 1, 2, 3, 4)  # ends at bne
+    assert block_span(flows, 2) == (2, 3, 4)        # branch target mid-block
+    assert block_span(flows, 5) == (5,)             # halt runs to program end
+
+
+def test_block_span_out_of_range_or_hole(risc16_desc):
+    flows, _, _ = _flows(risc16_desc, "halt\n")
+    assert block_span(flows, 99) == ()
+    assert block_span(flows, -1) == ()
+    assert block_span(flows + [None], 1) == ()
+
+
+def test_block_span_respects_length_cap(risc16_desc):
+    body = "nop\n" * (MAX_BLOCK_LEN + 6) + "halt\n"
+    flows, _, _ = _flows(risc16_desc, body)
+    span = block_span(flows, 0)
+    assert len(span) == MAX_BLOCK_LEN
+    # the tail is a fresh block starting where the cap split
+    tail = block_span(flows, span[-1] + 1)
+    assert tail[-1] == MAX_BLOCK_LEN + 6  # the halt
+
+
+def test_static_blocks_partition_sum_loop(risc16_desc):
+    workload = risc16_sum_loop(5)
+    flows, _, _ = _flows(risc16_desc, workload.source)
+    blocks = static_blocks(flows)
+    # prologue+loop (ends at bne), epilogue (st; halt — runs off the end)
+    assert [b.start for b in blocks] == [0, 6]
+    assert blocks[0].ends_in_branch
+    assert not blocks[1].ends_in_branch
+    covered = [off for b in blocks for off in b.offsets]
+    assert covered == sorted(set(covered))  # static view never overlaps
+    assert covered == list(range(len(flows)))
+
+
+def test_static_blocks_on_last_program_word(risc16_desc):
+    """A block whose terminator is the final word must not run past the
+    program (regression guard for the dispatch loop's bounds check)."""
+    flows, _, _ = _flows(risc16_desc, "ldi r1, #1\nloop: jmp loop\n")
+    blocks = static_blocks(flows)
+    assert blocks == [
+        BasicBlock(start=0, offsets=(0, 1), ends_in_branch=True)
+    ]
+
+
+def test_basic_block_len(risc16_desc):
+    block = BasicBlock(start=0, offsets=(0, 1, 2), ends_in_branch=False)
+    assert len(block) == 3

@@ -148,3 +148,67 @@ def test_match_is_first_in_declaration_order(mini_desc):
     dis = Disassembler(mini_desc)
     decoded = dis.disassemble(0)
     assert decoded.operation_in("EX").op_name == "nop"
+
+
+# ---------------------------------------------------------------------------
+# Decode memoization
+# ---------------------------------------------------------------------------
+
+
+def test_decode_memoized_by_word(risc16_desc):
+    table = SignatureTable(risc16_desc)
+    dis = Disassembler(risc16_desc, table)
+    word = table.encode_operation("EX", "mov", {"d": 0, "b": ("reg", {"r": 5})})
+    first = dis.disassemble(word)
+    second = dis.disassemble(word)
+    assert first is second  # same immutable object, no re-decode
+    assert dis.decode_misses == 1
+    assert dis.decode_hits == 1
+    other = table.encode_operation("EX", "mov", {"d": 1, "b": ("reg", {"r": 5})})
+    dis.disassemble(other)
+    assert dis.decode_misses == 2
+
+
+def test_decode_cache_is_bounded_lru(risc16_desc):
+    table = SignatureTable(risc16_desc)
+    dis = Disassembler(risc16_desc, table, cache_size=2)
+    words = [
+        table.encode_operation("EX", "ldi", {"d": 0, "v": v})
+        for v in (1, 2, 3)
+    ]
+    for word in words:
+        dis.disassemble(word)
+    assert len(dis._cache) == 2
+    assert words[0] not in dis._cache  # oldest evicted
+    # touching the survivor keeps it resident across the next insert
+    dis.disassemble(words[1])
+    dis.disassemble(words[0])
+    assert words[1] in dis._cache
+
+
+def test_decode_cache_can_be_disabled(risc16_desc):
+    table = SignatureTable(risc16_desc)
+    dis = Disassembler(risc16_desc, table, cache_size=0)
+    word = table.encode_operation("EX", "halt", {})
+    first = dis.disassemble(word)
+    second = dis.disassemble(word)
+    assert first is not second
+    assert dis.decode_hits == dis.decode_misses == 0
+    assert len(dis._cache) == 0
+
+
+def test_decode_counters_reach_observability(risc16_desc):
+    from repro import obs
+
+    table = SignatureTable(risc16_desc)
+    dis = Disassembler(risc16_desc, table)
+    word = table.encode_operation("EX", "halt", {})
+    obs.enable()
+    try:
+        with obs.capture() as cap:
+            dis.disassemble(word)
+            dis.disassemble(word)
+    finally:
+        obs.disable(reset=True)
+    assert cap.snapshot.counters["disasm.decode_misses"] == 1
+    assert cap.snapshot.counters["disasm.decode_hits"] == 1

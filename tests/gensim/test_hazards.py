@@ -140,3 +140,87 @@ def test_nt_side_effect_write_counts(acc8_desc):
 """)
     # X is written with latency 1 by the post-increment: no stalls needed.
     assert result == [0, 0, 0, 0]
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: conditional PC writes, same-cycle side effects, program ends
+# ---------------------------------------------------------------------------
+
+
+def test_conditional_pc_write_appears_in_profile(risc16_desc):
+    """A conditional branch is still a PC writer for hazard purposes —
+    the ``if`` guard must not hide the write from the profile."""
+    decoded = decode_program(risc16_desc, "loop: bne loop - .\n")
+    profile = HazardAnalyzer(risc16_desc).profile(decoded[0])
+    written = {access[0] for access, _, _ in profile.writes}
+    assert "PC" in written
+
+
+def test_conditional_branch_consumes_flags_without_stall(risc16_desc):
+    """cmp writes the flags with latency 1; the branch reading them in the
+    next slot needs no stall — and the guarded PC write adds none."""
+    result = stalls(risc16_desc, """
+        cmp r1, r2
+loop:   bne loop - .
+        beq loop - .
+        halt
+""")
+    assert result == [0, 0, 0, 0]
+
+
+def test_branch_condition_read_is_in_profile(risc16_desc):
+    decoded = decode_program(risc16_desc, "cmp r1, r2\nloop: bne loop - .\n")
+    analyzer = HazardAnalyzer(risc16_desc)
+    cmp_writes = {a[0] for a, _, _ in analyzer.profile(decoded[0]).writes}
+    bne_reads = {a[0] for a in analyzer.profile(decoded[1]).reads}
+    # the branch reads what cmp writes (flag storage), so a longer-latency
+    # flag producer *would* stall it — the dependence edge exists
+    assert cmp_writes & bne_reads
+
+
+def test_same_cycle_side_effect_needs_no_stall(acc8_desc):
+    """A latency-1 ('zero extra cycles') side-effect write is visible to
+    the very next instruction without stalling — the post-incremented X
+    feeds a store through it immediately."""
+    result = stalls(acc8_desc, """
+        ldx #3
+        add (X)+
+        sub (X)+
+        halt
+""")
+    assert result == [0, 0, 0, 0]
+    decoded = decode_program(acc8_desc, "add (X)+\n")
+    profile = HazardAnalyzer(acc8_desc).profile(decoded[0])
+    x_writes = [
+        (access, latency)
+        for access, latency, _ in profile.writes
+        if access[0] == "X"
+    ]
+    assert x_writes and all(latency == 1 for _, latency in x_writes)
+
+
+def test_producer_on_last_program_word_is_safe(spam_desc):
+    """A long-latency producer as the final word: the hazard window runs
+    off the end of the program and must simply truncate."""
+    result = stalls(spam_desc, """
+        fadd r1, r2, r3
+        fmul r4, r5, r6
+""")
+    assert result == [0, 0]
+
+
+def test_hazard_window_spans_program_end_without_consumer(spam_desc):
+    """Latency reaches past the last word; only the in-range consumer
+    stalls and the final instruction never indexes past the program."""
+    result = stalls(spam_desc, """
+        fmul r1, r2, r3
+        fadd r4, r1, r1
+""")
+    assert result == [0, 2]
+
+
+def test_empty_and_single_word_programs(risc16_desc):
+    analyzer = HazardAnalyzer(risc16_desc)
+    assert analyzer.stalls_for_program([]) == []
+    decoded = decode_program(risc16_desc, "halt\n")
+    assert analyzer.stalls_for_program(decoded) == [0]

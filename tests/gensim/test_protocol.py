@@ -111,13 +111,14 @@ def test_run_breakpoint_carries_live_cycles(risc16_desc, program):
     assert result.cycles == sim.cycle > 0
 
 
-def test_string_comparison_shim_warns_and_works(risc16_desc, program):
+def test_string_comparison_is_gone(risc16_desc, program):
+    """The ``run() == "halted"`` deprecation shim has been removed; the
+    comparison now falls back to default (identity) semantics."""
     sim = load(XSim(risc16_desc), program)
     result = sim.run()
-    with pytest.deprecated_call():
-        assert result == "halted"
-    with pytest.deprecated_call():
-        assert result != "breakpoint"
+    assert result.halt_reason == "halted"
+    assert not (result == "halted")
+    assert result != "halted"
 
 
 def test_run_result_equality_against_stats(risc16_desc, program):
