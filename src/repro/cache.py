@@ -88,7 +88,7 @@ class ArtifactCache:
     """
 
     #: artifact kinds that survive pickling and may go to the disk layer
-    PICKLABLE_KINDS = frozenset({"program", "evaluation"})
+    PICKLABLE_KINDS = frozenset({"program", "evaluation", "analysis"})
 
     def __init__(self, max_entries: int = 512,
                  disk_path: Optional[str] = None):
@@ -255,3 +255,14 @@ class ArtifactCache:
     def evaluation(self, key: Hashable, builder: Callable[[], Any]):
         """Memoized whole-candidate evaluation (see explore.metrics)."""
         return self.get_or_build("evaluation", key, builder)
+
+    def analysis(self, desc, builder: Callable[[], Any],
+                 fp: Optional[str] = None):
+        """Memoized :class:`repro.analyze.AnalysisResult` for a description.
+
+        Keyed by the structural fingerprint alone: the analysis depends on
+        nothing but the description, so the explorer's validity gate pays
+        one run per distinct candidate and a lookup thereafter.
+        """
+        fp = fp or self.description_fingerprint(desc)
+        return self.get_or_build("analysis", fp, builder)

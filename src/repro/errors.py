@@ -66,6 +66,21 @@ class DisassemblyError(ReproError):
     """
 
 
+class AmbiguousEncodingError(DisassemblyError):
+    """Raised when an instruction word matches more than one signature.
+
+    The paper's Fig. 4 algorithm assumes a decodable assembly function
+    (unique constant match per field); on a description that breaks that
+    property the match set — not declaration order — is the truth, so the
+    disassembler names every matching operation instead of silently taking
+    the first.  ``matches`` holds the qualified names, sorted.
+    """
+
+    def __init__(self, message: str, matches: tuple = ()):
+        super().__init__(message)
+        self.matches = tuple(matches)
+
+
 class AssemblerError(LocatedError):
     """Raised on malformed assembly source or constraint violations."""
 

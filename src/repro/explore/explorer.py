@@ -112,6 +112,7 @@ class Explorer:
         evaluator: Optional[ParallelEvaluator] = None,
         parallel: str = "auto",
         max_workers: Optional[int] = None,
+        static_check: bool = True,
     ):
         self.kernels = list(kernels)
         self.weights = weights or CostWeights()
@@ -124,6 +125,7 @@ class Explorer:
                 cache=cache if cache is not None else ArtifactCache(),
                 mode=parallel,
                 max_workers=max_workers,
+                static_check=static_check,
             )
         self.evaluator = evaluator
 

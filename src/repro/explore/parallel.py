@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..analyze.diagnostics import Diagnostic
 from ..cache import ArtifactCache
 from ..codegen.ir import Kernel
 from ..isdl import ast, fingerprint
@@ -70,6 +71,9 @@ class EvalResult:
     #: per-candidate observability profile (None while obs is disabled);
     #: for pool workers this is the snapshot shipped back to the parent
     obs: Optional[MetricsSnapshot] = None
+    #: the static-analysis findings when the validity gate rejected the
+    #: candidate before any tool ran (``error`` is set alongside)
+    diagnostics: Tuple[Diagnostic, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -138,6 +142,7 @@ class ParallelEvaluator:
         max_workers: Optional[int] = None,
         mode: str = "auto",
         sim_backend: str = "xsim",
+        static_check: bool = True,
     ):
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown evaluator mode {mode!r}")
@@ -148,6 +153,7 @@ class ParallelEvaluator:
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.mode = mode
         self.sim_backend = sim_backend
+        self.static_check = static_check
         self._pool = None
         self._pool_kind: Optional[str] = None
 
@@ -173,6 +179,10 @@ class ParallelEvaluator:
         results: List[Optional[EvalResult]] = [None] * len(requests)
         jobs: List[Tuple[int, EvalRequest]] = []
         for index, request in enumerate(requests):
+            rejected = self._static_probe(index, request)
+            if rejected is not None:
+                results[index] = rejected
+                continue
             hit = self._cache_probe(index, request)
             if hit is not None:
                 results[index] = hit
@@ -223,6 +233,40 @@ class ParallelEvaluator:
             return "process"
         except (ImportError, OSError):  # pragma: no cover - exotic hosts
             return "thread"
+
+    def _static_probe(self, index: int,
+                      request: EvalRequest) -> Optional[EvalResult]:
+        """The validity gate: reject a statically invalid candidate before
+        any tool-chain work is dispatched for it.
+
+        Returns an error :class:`EvalResult` carrying the diagnostic list
+        when the analysis finds error-severity problems, None otherwise.
+        A candidate so malformed the analysis itself blows up falls
+        through to normal dispatch, which records the failure the
+        pre-gate way.
+        """
+        if not self.static_check:
+            return None
+        from ..analyze import check_static
+
+        try:
+            analysis = check_static(request.desc, cache=self.cache)
+        except Exception:  # malformed candidate: let dispatch record it
+            return None
+        if analysis.ok():
+            return None
+        errors = analysis.errors
+        obs.add("analyze.candidates_rejected")
+        first = errors[0]
+        more = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        return EvalResult(
+            index, request.display_label, request.derived_by,
+            error=(
+                f"static analysis rejected candidate:"
+                f" {first.code}: {first.message}{more}"
+            ),
+            diagnostics=tuple(analysis.diagnostics),
+        )
 
     def _cache_probe(self, index: int,
                      request: EvalRequest) -> Optional[EvalResult]:

@@ -40,10 +40,12 @@ def exploration_report(log: ExplorationLog,
     run was made with :mod:`repro.obs` enabled, the merged per-stage
     profile of every candidate measurement is appended as well.
     """
+    statically_rejected = sum(1 for r in log.errors if r.diagnostics)
     lines = [
         f"exploration: {log.iterations} iteration(s),"
         f" {len(log.accepted) - 1} improvement step(s),"
-        f" {len(log.rejected)} infeasible candidate(s)",
+        f" {len(log.rejected)} infeasible candidate(s),"
+        f" {statically_rejected} statically rejected",
         "",
     ]
     for i, candidate in enumerate(log.accepted):

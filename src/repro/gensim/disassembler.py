@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import obs
 from ..encoding.signature import Operand, Signature, SignatureTable
-from ..errors import DisassemblyError
+from ..errors import AmbiguousEncodingError, DisassemblyError
 from ..isdl import ast
 
 
@@ -96,30 +96,53 @@ class Disassembler:
     # -- paper Fig. 4: disassemble_field(s, f) ------------------------------
 
     def _disassemble_field(self, word: int, fld: ast.Field) -> DecodedOperation:
-        for op in fld.operations:
-            signature = self.table.operation(fld.name, op.name)
-            if not signature.matches(word):
-                continue
-            operands = self._decode_params(word, op.params, signature)
-            return DecodedOperation(fld.name, op.name, operands)
-        raise DisassemblyError(
-            f"ILLEGAL INSTRUCTION: word 0x{word:x} matches no operation in"
-            f" field {fld.name!r}"
-        )
+        matches = [
+            op for op in fld.operations
+            if self.table.operation(fld.name, op.name).matches(word)
+        ]
+        if len(matches) > 1:
+            names = sorted(f"{fld.name}.{op.name}" for op in matches)
+            raise AmbiguousEncodingError(
+                f"AMBIGUOUS INSTRUCTION: word 0x{word:x} matches"
+                f" {len(names)} operations in field {fld.name!r}:"
+                f" {', '.join(names)} (assembly function is not"
+                " decodable — see Axiom 1)",
+                matches=tuple(names),
+            )
+        if not matches:
+            raise DisassemblyError(
+                f"ILLEGAL INSTRUCTION: word 0x{word:x} matches no operation"
+                f" in field {fld.name!r}"
+            )
+        op = matches[0]
+        signature = self.table.operation(fld.name, op.name)
+        operands = self._decode_params(word, op.params, signature)
+        return DecodedOperation(fld.name, op.name, operands)
 
     # -- paper Fig. 4: disassemble_ntl(s, n) --------------------------------
 
     def _disassemble_ntl(self, value: int, nt: ast.NonTerminal) -> Operand:
-        for option in nt.options:
-            signature = self.table.option(nt.name, option.label)
-            if not signature.matches(value):
-                continue
-            operands = self._decode_params(value, option.params, signature)
-            return (option.label, operands)
-        raise DisassemblyError(
-            f"ILLEGAL INSTRUCTION: value 0x{value:x} matches no option of"
-            f" non-terminal {nt.name!r}"
-        )
+        matches = [
+            option for option in nt.options
+            if self.table.option(nt.name, option.label).matches(value)
+        ]
+        if len(matches) > 1:
+            names = sorted(f"{nt.name}.{option.label}" for option in matches)
+            raise AmbiguousEncodingError(
+                f"AMBIGUOUS INSTRUCTION: value 0x{value:x} matches"
+                f" {len(names)} options of non-terminal {nt.name!r}:"
+                f" {', '.join(names)}",
+                matches=tuple(names),
+            )
+        if not matches:
+            raise DisassemblyError(
+                f"ILLEGAL INSTRUCTION: value 0x{value:x} matches no option"
+                f" of non-terminal {nt.name!r}"
+            )
+        option = matches[0]
+        signature = self.table.option(nt.name, option.label)
+        operands = self._decode_params(value, option.params, signature)
+        return (option.label, operands)
 
     def _decode_params(self, word: int, params, signature: Signature):
         operands: Dict[str, Operand] = {}
@@ -148,34 +171,12 @@ def find_ambiguities(desc: ast.Description,
     in both signatures with opposite values.  (An operation whose signature
     constants are a superset of another's — e.g. a specialised encoding —
     is reported, because match order then decides.)
+
+    The check itself lives in :mod:`repro.analyze` as the decode-ambiguity
+    pass (``ISDL101``/``ISDL102``); this shim keeps the historical
+    ``List[str]`` surface for the GENSIM generator and existing callers.
     """
-    table = table or SignatureTable(desc)
-    problems = []
-    for fld in desc.fields:
-        ops = fld.operations
-        for i, op_a in enumerate(ops):
-            sig_a = table.operation(fld.name, op_a.name)
-            for op_b in ops[i + 1 :]:
-                sig_b = table.operation(fld.name, op_b.name)
-                common = sig_a.constant_mask & sig_b.constant_mask
-                if (sig_a.constant_value & common) == (
-                    sig_b.constant_value & common
-                ):
-                    problems.append(
-                        f"{fld.name}.{op_a.name} and {fld.name}.{op_b.name}"
-                        " have non-conflicting constant signatures"
-                    )
-    for nt in desc.nonterminals.values():
-        for i, opt_a in enumerate(nt.options):
-            sig_a = table.option(nt.name, opt_a.label)
-            for opt_b in nt.options[i + 1 :]:
-                sig_b = table.option(nt.name, opt_b.label)
-                common = sig_a.constant_mask & sig_b.constant_mask
-                if (sig_a.constant_value & common) == (
-                    sig_b.constant_value & common
-                ):
-                    problems.append(
-                        f"{nt.name}.{opt_a.label} and {nt.name}.{opt_b.label}"
-                        " have non-conflicting constant signatures"
-                    )
-    return problems
+    from ..analyze.passes import PassContext, pass_decode_ambiguity
+
+    ctx = PassContext(desc, table=table)
+    return [d.message for d in pass_decode_ambiguity(ctx)]

@@ -1,9 +1,11 @@
 """Semantic analysis for ISDL descriptions.
 
 :func:`check` validates a parsed :class:`~repro.isdl.ast.Description` and
-raises :class:`~repro.errors.IsdlSemanticError` on the first problem (or, with
-``collect=True``, returns the full list of problems).  Everything downstream
-— the assembler, GENSIM, HGEN — assumes a checked description.
+raises :class:`~repro.errors.IsdlSemanticError` on the first problem.
+:func:`diagnose` runs the same checks but returns structured
+:class:`~repro.analyze.diagnostics.Diagnostic` objects (stable codes,
+severities, source spans) — the shape the :mod:`repro.analyze` engine and
+``repro-lint`` build on.
 
 The most important check is the paper's **Axiom 1** (section 3.3.2): every
 bit of an operation signature is a function of at most one parameter.  Our
@@ -17,17 +19,51 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from .. import obs
+from ..analyze.diagnostics import Diagnostic, Severity
 from ..errors import IsdlSemanticError
 from . import ast, rtl
 from .intrinsics import INTRINSICS
 
+#: Codes for the well-formedness range (``ISDL0xx``); checks not listed
+#: here report the generic :data:`CODE_SEMANTIC`.
+CODE_SEMANTIC = "ISDL010"
+CODE_AXIOM1 = "ISDL011"
+CODE_NOT_REVERSIBLE = "ISDL012"
+CODE_CROSS_FIELD_BITS = "ISDL013"
+#: Constraint references to unknown operations live in the constraint
+#: range and are only a warning under :func:`diagnose` — an exploration
+#: transform that drops an operation may leave a dangling reference that
+#: can never forbid anything, which is untidy rather than fatal.
+CODE_CONSTRAINT_UNKNOWN_REF = "ISDL201"
+
 
 def check(desc: ast.Description, collect: bool = False) -> List[str]:
-    """Validate *desc*; raise on the first problem unless *collect*."""
+    """Validate *desc*; raise on the first problem unless *collect*.
+
+    .. deprecated::
+        ``collect=True`` returning bare strings is a back-compat shim for
+        pre-``repro.analyze`` callers; new code should call
+        :func:`diagnose`, which returns structured ``Diagnostic`` objects
+        with stable codes, severities and source spans.
+    """
     with obs.span("isdl.check", desc=desc.name):
         checker = _Checker(desc, collect)
         checker.run()
-        return checker.problems
+        return [d.legacy_text() for d in checker.diagnostics]
+
+
+def diagnose(desc: ast.Description) -> List[Diagnostic]:
+    """Run all semantic checks, returning every problem as a Diagnostic.
+
+    Unlike :func:`check` this never raises on description problems: it is
+    the well-formedness stage of the :mod:`repro.analyze` pass pipeline,
+    where an unknown constraint reference is a warning
+    (:data:`CODE_CONSTRAINT_UNKNOWN_REF`) and everything else an error.
+    """
+    with obs.span("isdl.diagnose", desc=desc.name):
+        checker = _Checker(desc, collect=True)
+        checker.run()
+        return checker.diagnostics
 
 
 def alias_width(desc: ast.Description, alias: ast.Alias) -> int:
@@ -53,15 +89,20 @@ class _Checker:
     def __init__(self, desc: ast.Description, collect: bool):
         self.desc = desc
         self.collect = collect
-        self.problems: List[str] = []
+        self.diagnostics: List[Diagnostic] = []
 
-    def fail(self, message: str, location=None) -> None:
-        if location is not None:
-            message = f"{location}: {message}"
+    def fail(self, message: str, location=None, *,
+             code: str = CODE_SEMANTIC,
+             severity: Severity = Severity.ERROR,
+             where: str = "") -> None:
+        diagnostic = Diagnostic(code, severity, message, where=where,
+                                location=location)
         if self.collect:
-            self.problems.append(message)
+            self.diagnostics.append(diagnostic)
         else:
-            raise IsdlSemanticError(message)
+            # Raise-mode keeps the historical fail-fast contract: any
+            # problem — warning-severity included — aborts the load.
+            raise IsdlSemanticError(diagnostic.legacy_text())
 
     # ------------------------------------------------------------------
 
@@ -295,6 +336,7 @@ class _Checker:
                     f"{where}: instruction bits {sorted(overlap)} assigned"
                     " more than once (violates Axiom 1)",
                     assign.location,
+                    code=CODE_AXIOM1,
                 )
             assigned |= bits
             rhs = assign.rhs
@@ -349,6 +391,7 @@ class _Checker:
                     f" {sorted(missing)} never encoded — the encoding is not"
                     " reversible",
                     location,
+                    code=CODE_NOT_REVERSIBLE,
                 )
 
     def _value_width(self, ptype) -> int:
@@ -494,6 +537,8 @@ class _Checker:
                         f"constraint references unknown operation"
                         f" {ref.field}.{ref.op}",
                         constraint.location,
+                        code=CODE_CONSTRAINT_UNKNOWN_REF,
+                        severity=Severity.WARNING,
                     )
 
     def check_cross_field_encoding(self) -> None:
@@ -519,5 +564,6 @@ class _Checker:
                     f"operations {field_a}.{op_a} and {field_b}.{op_b} in"
                     f" different fields share instruction bits"
                     f" {sorted(overlap)} and no constraint forbids their"
-                    " combination"
+                    " combination",
+                    code=CODE_CROSS_FIELD_BITS,
                 )

@@ -1,0 +1,159 @@
+"""Constraint-evaluation edge cases: nested ``~``/``&``/``|`` and
+multi-field constraints — exercised both directly through
+:func:`repro.isdl.ast.evaluate_constraint` and through the constraint
+analysis pass."""
+
+from repro.analyze import Severity, analyze
+from repro.isdl import load_string
+from repro.isdl.ast import (
+    CAnd,
+    CNot,
+    COpRef,
+    COr,
+    evaluate_constraint,
+    oprefs_in,
+)
+
+A = COpRef("F1", "a")
+B = COpRef("F2", "b")
+C = COpRef("F3", "c")
+
+
+# ---------------------------------------------------------------------------
+# evaluate_constraint on nested expressions
+# ---------------------------------------------------------------------------
+
+
+def test_double_negation_cancels():
+    expr = CNot(CNot(A))
+    assert evaluate_constraint(expr, {"F1": "a"})
+    assert not evaluate_constraint(expr, {"F1": "other"})
+    assert not evaluate_constraint(expr, {})
+
+
+def test_de_morgan_holds_for_nested_and_or():
+    lhs = CNot(CAnd(A, B))
+    rhs = COr(CNot(A), CNot(B))
+    for selected in (
+        {}, {"F1": "a"}, {"F2": "b"}, {"F1": "a", "F2": "b"},
+        {"F1": "x", "F2": "b"},
+    ):
+        assert evaluate_constraint(lhs, selected) == evaluate_constraint(
+            rhs, selected
+        )
+
+
+def test_three_field_mix_with_nested_not():
+    # ~(a & b) | (c & ~a): true unless (a and b) while not (c without a)
+    expr = COr(CNot(CAnd(A, B)), CAnd(C, CNot(A)))
+    assert evaluate_constraint(expr, {})  # nothing selected -> lhs true
+    assert not evaluate_constraint(expr, {"F1": "a", "F2": "b"})
+    assert evaluate_constraint(
+        expr, {"F1": "a", "F2": "b", "F3": "c"}
+    ) is False  # rhs needs ~a
+    assert evaluate_constraint(expr, {"F3": "c"})
+
+
+def test_absent_field_behaves_as_no_match():
+    # an opref on an unselected field is simply false, not an error
+    expr = CAnd(CNot(A), CNot(B))
+    assert evaluate_constraint(expr, {})
+    assert evaluate_constraint(expr, {"F3": "c"})
+
+
+def test_oprefs_in_walks_every_leaf():
+    expr = COr(CNot(CAnd(A, B)), CAnd(C, CNot(A)))
+    refs = [(r.field, r.op) for r in oprefs_in(expr)]
+    assert refs == [("F1", "a"), ("F2", "b"), ("F3", "c"), ("F1", "a")]
+
+
+# ---------------------------------------------------------------------------
+# the constraint pass over multi-field descriptions
+# ---------------------------------------------------------------------------
+
+
+THREE_FIELDS = '''
+processor "T"
+section format
+    word 12
+end
+section storage
+    instruction_memory IM width 12 depth 16
+    register A width 8
+    register B width 8
+    register C width 8
+    program_counter PC width 4
+end
+section instruction_set
+    field F1
+        operation n1()
+            encoding { bits[11:10] = 0b00 }
+        operation a()
+            encoding { bits[11:10] = 0b01 }
+            action { A <- A + 1; }
+    end
+    field F2
+        operation n2()
+            encoding { bits[9:8] = 0b00 }
+        operation b()
+            encoding { bits[9:8] = 0b01 }
+            action { B <- B + 1; }
+    end
+    field F3
+        operation n3()
+            encoding { bits[7:6] = 0b00 }
+        operation c()
+            encoding { bits[7:6] = 0b01 }
+            action { C <- C + 1; }
+    end
+end
+'''
+
+
+def load(extra):
+    return load_string(THREE_FIELDS + extra, filename="three.isdl",
+                       validate=False)
+
+
+def test_multi_field_forbid_is_neither_unsat_nor_vacuous():
+    result = analyze(load("""
+section constraints
+    forbid F1.a & F2.b & F3.c
+end
+"""))
+    assert not result.by_code("ISDL202")
+    assert not result.by_code("ISDL203")
+
+
+def test_nested_unsatisfiable_multi_field_constraint():
+    # require (a & ~a): false under every assignment of every field
+    result = analyze(load("""
+section constraints
+    require F1.a & ~F1.a
+end
+"""))
+    (finding,) = result.by_code("ISDL202")
+    assert finding.severity is Severity.ERROR
+
+
+def test_nested_vacuous_or_over_three_fields():
+    # require (a | ~a) | (b & c): the left disjunct is a tautology
+    result = analyze(load("""
+section constraints
+    require (F1.a | ~F1.a) | (F2.b & F3.c)
+end
+"""))
+    (finding,) = result.by_code("ISDL203")
+    assert finding.severity is Severity.WARNING
+
+
+def test_each_constraint_judged_independently():
+    result = analyze(load("""
+section constraints
+    forbid F1.a & F2.b
+    require F3.c & ~F3.c
+    forbid F2.b & ~F2.b
+end
+"""))
+    assert len(result.by_code("ISDL202")) == 1
+    assert len(result.by_code("ISDL203")) == 1

@@ -1,0 +1,56 @@
+"""Golden-file tests: the exact diagnostics (codes, spans, messages) the
+analysis engine emits for each built-in architecture description.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.arch import ARCHITECTURES, description_for
+    from repro.analyze import analyze, to_json_payload
+    for name in sorted(ARCHITECTURES):
+        target = to_json_payload([analyze(description_for(name))])["targets"][0]
+        with open(f"tests/analyze/golden/{name}.json", "w") as fh:
+            json.dump(target, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    EOF
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analyze import analyze, to_json_payload
+from repro.arch import ARCHITECTURES, description_for
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_arch_diagnostics_match_golden(arch):
+    result = analyze(description_for(arch))
+    got = to_json_payload([result])["targets"][0]
+    with open(os.path.join(GOLDEN_DIR, f"{arch}.json")) as fh:
+        want = json.load(fh)
+    assert got == want
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_arch_descriptions_are_error_free(arch):
+    # the acceptance bar: every shipped architecture lints clean at
+    # severity=error (and, today, at severity=warning too)
+    result = analyze(description_for(arch))
+    assert result.ok()
+    assert result.counts()["error"] == 0
+    assert result.counts()["warning"] == 0
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_golden_spans_point_into_the_arch_source(arch):
+    with open(os.path.join(GOLDEN_DIR, f"{arch}.json")) as fh:
+        want = json.load(fh)
+    for diagnostic in want["diagnostics"]:
+        if "file" in diagnostic:
+            assert diagnostic["file"] == f"{arch}.isdl"
+            assert diagnostic["line"] >= 1
+            assert diagnostic["column"] >= 1

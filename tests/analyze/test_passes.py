@@ -1,0 +1,485 @@
+"""Tests for the analysis passes and the pass manager."""
+
+import pytest
+
+from repro.analyze import (
+    ALL_PASSES,
+    AnalysisPass,
+    PassContext,
+    Severity,
+    analyze,
+    check_static,
+    pass_named,
+)
+from repro.cache import ArtifactCache
+from repro.isdl import load_string
+
+
+def load(source, filename="test.isdl"):
+    return load_string(source, filename=filename, validate=False)
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+BASE_STORAGE = """
+section storage
+    instruction_memory IM width 8 depth 16
+    register ACC width 8
+    program_counter PC width 4
+end
+"""
+
+
+# ---------------------------------------------------------------------------
+# decode ambiguity (ISDL101 / ISDL102)
+# ---------------------------------------------------------------------------
+
+
+AMBIGUOUS_OPS = f'''
+processor "T"
+section format
+    word 8
+end
+{BASE_STORAGE}
+section instruction_set
+    field EX
+        operation a()
+            encoding {{ bits[7] = 0b1 }}
+            action {{ ACC <- ACC + 1; }}
+        operation b()
+            encoding {{ bits[6] = 0b1 }}
+            action {{ ACC <- ACC - 1; }}
+    end
+end
+'''
+
+
+def test_ambiguous_operations_flagged_with_witness_word():
+    result = analyze(load(AMBIGUOUS_OPS))
+    (finding,) = result.by_code("ISDL101")
+    assert finding.severity is Severity.ERROR
+    assert "EX.a" in finding.message and "EX.b" in finding.message
+    assert "0xc0" in finding.message  # both constant images set
+    assert finding.location is not None
+    assert not result.ok()
+
+
+AMBIGUOUS_NT = f'''
+processor "T"
+section format
+    word 8
+end
+section global_definitions
+    token R2 prefix "R" range 0 .. 3
+    nonterminal SRC width 3
+        option reg(r: R2)
+            encoding {{ bits[2] = 0b1; bits[1:0] = r }}
+            action {{ $$ <- RF[r]; }}
+        option zero()
+            encoding {{ bits[1] = 0b1 }}
+            action {{ $$ <- 0; }}
+    end
+end
+section storage
+    instruction_memory IM width 8 depth 16
+    register_file RF width 8 depth 4
+    register ACC width 8
+    program_counter PC width 4
+end
+section instruction_set
+    field EX
+        operation ld(s: SRC)
+            encoding {{ bits[7:5] = 0b101; bits[2:0] = s }}
+            action {{ ACC <- s; }}
+    end
+end
+'''
+
+
+def test_ambiguous_nt_options_flagged():
+    result = analyze(load(AMBIGUOUS_NT))
+    (finding,) = result.by_code("ISDL102")
+    assert finding.severity is Severity.ERROR
+    assert "SRC.reg" in finding.message and "SRC.zero" in finding.message
+
+
+def test_clean_description_has_no_ambiguity(mini_desc):
+    result = analyze(mini_desc)
+    assert not result.by_code("ISDL101")
+    assert not result.by_code("ISDL102")
+
+
+# ---------------------------------------------------------------------------
+# constraint analysis (ISDL202 / ISDL203)
+# ---------------------------------------------------------------------------
+
+
+TWO_FIELDS = f'''
+processor "T"
+section format
+    word 8
+end
+section storage
+    instruction_memory IM width 8 depth 16
+    register A width 8
+    register B width 8
+    program_counter PC width 4
+end
+section instruction_set
+    field F1
+        operation nop1()
+            encoding {{ bits[7:6] = 0b00 }}
+        operation inc()
+            encoding {{ bits[7:6] = 0b01 }}
+            action {{ A <- A + 1; }}
+    end
+    field F2
+        operation nop2()
+            encoding {{ bits[5:4] = 0b00 }}
+        operation dec()
+            encoding {{ bits[5:4] = 0b01 }}
+            action {{ B <- B - 1; }}
+    end
+end
+'''
+
+
+def test_unsatisfiable_constraint_is_an_error():
+    # one field selects one operation: F1.nop1 & F1.inc can never hold
+    desc = load(TWO_FIELDS + """
+section constraints
+    require F1.nop1 & F1.inc
+end
+""")
+    result = analyze(desc)
+    (finding,) = result.by_code("ISDL202")
+    assert finding.severity is Severity.ERROR
+    assert "unsatisfiable" in finding.message
+
+
+def test_vacuous_constraint_is_a_warning():
+    # forbid (X & ~X) is a tautology: it can never forbid anything
+    desc = load(TWO_FIELDS + """
+section constraints
+    forbid F1.inc & ~F1.inc
+end
+""")
+    result = analyze(desc)
+    (finding,) = result.by_code("ISDL203")
+    assert finding.severity is Severity.WARNING
+    assert "vacuous" in finding.message
+    assert result.ok()  # warnings do not fail the default threshold
+
+
+def test_useful_constraint_is_silent():
+    desc = load(TWO_FIELDS + """
+section constraints
+    forbid F1.inc & F2.dec
+end
+""")
+    result = analyze(desc)
+    assert not result.by_code("ISDL202")
+    assert not result.by_code("ISDL203")
+
+
+def test_unknown_constraint_ref_is_warning_not_crash():
+    desc = load(TWO_FIELDS + """
+section constraints
+    forbid F1.inc & F9.ghost
+end
+""")
+    result = analyze(desc)
+    (finding,) = result.by_code("ISDL201")
+    assert finding.severity is Severity.WARNING
+    # the dangling constraint is excluded from sat analysis, not crashed on
+    assert not result.by_code("ISDL202")
+    assert not result.by_code("ISDL901")
+
+
+# ---------------------------------------------------------------------------
+# RTL dataflow (ISDL301 / ISDL302 / ISDL303)
+# ---------------------------------------------------------------------------
+
+
+def test_read_never_written_register_flagged():
+    desc = load(f'''
+processor "T"
+section format
+    word 8
+end
+section storage
+    instruction_memory IM width 8 depth 16
+    register ACC width 8
+    register MYSTERY width 8
+    program_counter PC width 4
+end
+section instruction_set
+    field EX
+        operation rd()
+            encoding {{ bits[7] = 0b1 }}
+            action {{ ACC <- MYSTERY; }}
+        operation wr()
+            encoding {{ bits[7] = 0b0 }}
+            action {{ ACC <- 1; }}
+    end
+end
+''')
+    result = analyze(desc)
+    (finding,) = result.by_code("ISDL301")
+    assert finding.severity is Severity.WARNING
+    assert "MYSTERY" in finding.message
+
+
+def test_dead_write_shadowed_in_same_instruction():
+    desc = load(f'''
+processor "T"
+section format
+    word 8
+end
+{BASE_STORAGE}
+section instruction_set
+    field EX
+        operation dead()
+            encoding {{ bits[7] = 0b1 }}
+            action {{ ACC <- 1; ACC <- 2; }}
+        operation live()
+            encoding {{ bits[7] = 0b0 }}
+            action {{ ACC <- 1; ACC <- ACC + 1; }}
+    end
+end
+''')
+    result = analyze(desc)
+    (finding,) = result.by_code("ISDL302")
+    assert finding.severity is Severity.WARNING
+    assert "EX.dead" in finding.where  # the read in `live` keeps it alive
+
+
+def test_conditional_shadow_is_not_a_dead_write():
+    desc = load(f'''
+processor "T"
+section format
+    word 8
+end
+{BASE_STORAGE}
+section instruction_set
+    field EX
+        operation maybe()
+            encoding {{ bits[7] = 0b1 }}
+            action {{ ACC <- 1; if ACC == 0 {{ ACC <- 2; }} }}
+        operation other()
+            encoding {{ bits[7] = 0b0 }}
+    end
+end
+''')
+    assert not analyze(desc).by_code("ISDL302")
+
+
+def test_write_write_conflict_across_coscheduled_fields():
+    result = analyze(load(f'''
+processor "T"
+section format
+    word 8
+end
+{BASE_STORAGE}
+section instruction_set
+    field F1
+        operation set1()
+            encoding {{ bits[7:6] = 0b01 }}
+            action {{ ACC <- 1; }}
+        operation nop1()
+            encoding {{ bits[7:6] = 0b00 }}
+    end
+    field F2
+        operation set2()
+            encoding {{ bits[5:4] = 0b01 }}
+            action {{ ACC <- 2; }}
+        operation nop2()
+            encoding {{ bits[5:4] = 0b00 }}
+    end
+end
+'''))
+    (finding,) = result.by_code("ISDL303")
+    assert finding.severity is Severity.WARNING
+    assert "F1.set1" in finding.message and "F2.set2" in finding.message
+
+
+def test_constraint_forbidding_pair_silences_conflict():
+    result = analyze(load(f'''
+processor "T"
+section format
+    word 8
+end
+{BASE_STORAGE}
+section instruction_set
+    field F1
+        operation set1()
+            encoding {{ bits[7:6] = 0b01 }}
+            action {{ ACC <- 1; }}
+        operation nop1()
+            encoding {{ bits[7:6] = 0b00 }}
+    end
+    field F2
+        operation set2()
+            encoding {{ bits[5:4] = 0b01 }}
+            action {{ ACC <- 2; }}
+        operation nop2()
+            encoding {{ bits[5:4] = 0b00 }}
+    end
+end
+section constraints
+    forbid F1.set1 & F2.set2
+end
+'''))
+    assert not result.by_code("ISDL303")
+
+
+# ---------------------------------------------------------------------------
+# unused definitions (ISDL401..404)
+# ---------------------------------------------------------------------------
+
+
+def test_unused_token_nonterminal_storage_and_alias_flagged():
+    result = analyze(load(f'''
+processor "T"
+section format
+    word 8
+end
+section global_definitions
+    token USED immediate unsigned width 4
+    token GHOST immediate unsigned width 4
+    nonterminal PHANTOM width 2
+        option z()
+            encoding {{ bits[1:0] = 0b00 }}
+            action {{ $$ <- 0; }}
+    end
+end
+section storage
+    instruction_memory IM width 8 depth 16
+    register ACC width 8
+    register ORPHAN width 8
+    alias DANGLING = ORPHAN[0]
+    program_counter PC width 4
+end
+section instruction_set
+    field EX
+        operation ld(v: USED)
+            encoding {{ bits[7:4] = 0b1000; bits[3:0] = v }}
+            action {{ ACC <- v; }}
+    end
+end
+'''))
+    by = {d.code: d for d in result.diagnostics}
+    assert by["ISDL401"].where == "GHOST"
+    assert by["ISDL402"].where == "PHANTOM"
+    assert by["ISDL403"].where == "ORPHAN"
+    assert by["ISDL404"].where == "DANGLING"
+    assert by["ISDL404"].severity is Severity.INFO
+    assert result.ok()  # all are warnings/infos
+
+
+def test_architectural_storage_is_exempt(mini_desc):
+    # PC / IM / RF are externally driven; the mini description also routes
+    # HALTED through the optional-section attribute, so nothing is flagged
+    result = analyze(mini_desc)
+    assert not result.by_code("ISDL403")
+
+
+# ---------------------------------------------------------------------------
+# encoding-space coverage (ISDL501 / ISDL502)
+# ---------------------------------------------------------------------------
+
+
+def test_opcode_holes_and_wasted_bits_reported(mini_desc):
+    result = analyze(mini_desc)
+    (holes,) = result.by_code("ISDL501")
+    assert holes.severity is Severity.INFO
+    # 3 of 16 opcode patterns used (0000, 0001, 1111) -> 13 holes
+    assert "13 of 16" in holes.message
+    (wasted,) = result.by_code("ISDL502")
+    # bits 3:0 only used by addi's immediate... all bits covered except
+    # the low nibble don't-cares of nop/halt are defined in addi, so the
+    # wasted set is exactly the bits nothing defines
+    assert wasted.severity is Severity.INFO
+
+
+# ---------------------------------------------------------------------------
+# the pass manager
+# ---------------------------------------------------------------------------
+
+
+def test_semantic_errors_skip_deeper_passes():
+    # Axiom 1 violation: bit 7 assigned twice in one encoding
+    result = analyze(load('''
+processor "T"
+section format
+    word 8
+end
+section storage
+    instruction_memory IM width 8 depth 16
+    register ACC width 8
+    program_counter PC width 4
+end
+section instruction_set
+    field EX
+        operation bad()
+            encoding { bits[7] = 0b1; bits[7] = 0b0 }
+    end
+end
+'''))
+    assert result.passes == ("semantic",)
+    assert any(d.code == "ISDL011" for d in result.diagnostics)
+    assert not result.ok()
+
+
+def test_pass_crash_becomes_isdl901(mini_desc):
+    def explode(ctx):
+        raise RuntimeError("pass bug")
+
+    broken = AnalysisPass("broken", "ISDL999", "always crashes", explode)
+    result = analyze(mini_desc, passes=[broken])
+    (finding,) = result.by_code("ISDL901")
+    assert finding.severity is Severity.ERROR
+    assert "pass bug" in finding.message
+    assert "broken" in result.passes
+
+
+def test_pass_registry_and_selection(mini_desc):
+    assert [p.name for p in ALL_PASSES] == [
+        "decode-ambiguity", "constraints", "rtl-dataflow",
+        "unused-definitions", "encoding-space",
+    ]
+    assert pass_named("constraints").codes == "ISDL202-ISDL203"
+    with pytest.raises(KeyError):
+        pass_named("nonexistent")
+    only = analyze(mini_desc, passes=[pass_named("decode-ambiguity")])
+    assert only.passes == ("semantic", "decode-ambiguity")
+
+
+def test_pass_context_shares_signature_table_via_cache(mini_desc):
+    cache = ArtifactCache()
+    ctx = PassContext(mini_desc, cache=cache)
+    assert ctx.table is ctx.table  # built once
+    assert cache.stats.hits_by_kind["sigtable"] + \
+        cache.stats.misses_by_kind["sigtable"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# check_static memoization
+# ---------------------------------------------------------------------------
+
+
+def test_check_static_memoizes_by_fingerprint(mini_desc):
+    cache = ArtifactCache()
+    first = check_static(mini_desc, cache=cache)
+    second = check_static(mini_desc, cache=cache)
+    assert second is first  # the literal cached object
+    assert cache.stats.hits_by_kind["analysis"] == 1
+    assert cache.stats.misses_by_kind["analysis"] == 1
+
+
+def test_check_static_without_cache_still_analyzes(mini_desc):
+    result = check_static(mini_desc)
+    assert result.ok()
+    assert "decode-ambiguity" in result.passes

@@ -144,7 +144,60 @@ end
     assert problems  # word 0b11xxxxxx matches both
 
 
-def test_match_is_first_in_declaration_order(mini_desc):
+AMBIGUOUS_ISDL = '''
+processor "AMB"
+section format
+    word 8
+end
+section storage
+    instruction_memory IM width 8 depth 8
+    register ACC width 8
+    program_counter PC width 3
+end
+section instruction_set
+    field EX
+        operation a()
+            encoding { bits[7] = 0b1 }
+        operation b()
+            encoding { bits[6] = 0b1 }
+    end
+end
+'''
+
+
+def test_ambiguous_word_raises_naming_all_matches_sorted():
+    from repro.errors import AmbiguousEncodingError
+    from repro.isdl import load_string
+
+    desc = load_string(AMBIGUOUS_ISDL)
+    dis = Disassembler(desc)
+    with pytest.raises(AmbiguousEncodingError) as excinfo:
+        dis.disassemble(0b1100_0000)  # carries both constant images
+    assert excinfo.value.matches == ("EX.a", "EX.b")
+    assert "EX.a" in str(excinfo.value)
+    assert "EX.b" in str(excinfo.value)
+    # a word matching exactly one signature still decodes normally
+    assert dis.disassemble(0b1000_0000).operation_in("EX").op_name == "a"
+    assert dis.disassemble(0b0100_0000).operation_in("EX").op_name == "b"
+
+
+def test_ambiguity_error_is_deterministic_across_decodes():
+    from repro.errors import AmbiguousEncodingError
+    from repro.isdl import load_string
+
+    desc = load_string(AMBIGUOUS_ISDL)
+    seen = set()
+    for _ in range(3):
+        dis = Disassembler(desc, cache_size=0)
+        with pytest.raises(AmbiguousEncodingError) as excinfo:
+            dis.disassemble(0xFF)
+        seen.add(excinfo.value.matches)
+    assert seen == {("EX.a", "EX.b")}
+
+
+def test_unique_match_decodes_regardless_of_declaration_order(mini_desc):
+    # word 0 matches only nop's constants; uniqueness — not declaration
+    # order — is what selects the operation now
     dis = Disassembler(mini_desc)
     decoded = dis.disassemble(0)
     assert decoded.operation_in("EX").op_name == "nop"

@@ -286,3 +286,86 @@ section instruction_set
     end
 end
 ''', "invalid costs")
+
+
+# ---------------------------------------------------------------------------
+# Structured diagnostics (repro.analyze integration)
+# ---------------------------------------------------------------------------
+
+
+def test_diagnose_returns_structured_diagnostics():
+    from repro.analyze import Diagnostic, Severity
+    from repro.isdl import semantics
+
+    desc = parse(BASE + '''
+section instruction_set
+    field EX
+        operation a(d: REG)
+            encoding { bits[15] = 0b1 }
+            action { RF[d] <- 0; }
+    end
+end
+''')
+    diagnostics = semantics.diagnose(desc)
+    assert diagnostics
+    assert all(isinstance(d, Diagnostic) for d in diagnostics)
+    (finding,) = [d for d in diagnostics if d.code == "ISDL012"]
+    assert finding.severity is Severity.ERROR
+    assert "never encoded" in finding.message
+
+
+def test_diagnose_tags_axiom1_violations():
+    from repro.isdl import semantics
+
+    desc = parse(BASE + '''
+section instruction_set
+    field EX
+        operation t()
+            encoding { bits[15:12] = 0b1111; bits[13:12] = 0b00 }
+    end
+end
+''')
+    codes = [d.code for d in semantics.diagnose(desc)]
+    assert "ISDL011" in codes
+
+
+def test_diagnose_clean_description_is_empty():
+    from repro.isdl import semantics
+
+    assert semantics.diagnose(parse(BASE + GOOD_FIELD)) == []
+
+
+def test_collect_shim_matches_diagnose_legacy_text():
+    # the deprecated collect=True shape is exactly the structured
+    # diagnostics run through legacy_text()
+    from repro.isdl import semantics
+
+    desc = parse(BASE + '''
+section instruction_set
+    field EX
+        operation a(d: REG)
+            encoding { bits[15] = 0b1 }
+            action { RF[d] <- 0; }
+            cost size 0
+    end
+end
+''')
+    legacy = check(desc, collect=True)
+    structured = semantics.diagnose(desc)
+    assert legacy == [d.legacy_text() for d in structured]
+    assert all(isinstance(p, str) for p in legacy)
+
+
+def test_unknown_constraint_ref_is_warning_severity():
+    from repro.analyze import Severity
+    from repro.isdl import semantics
+
+    desc = parse(BASE + GOOD_FIELD + '''
+section constraints
+    forbid EX.ghost
+end
+''')
+    findings = [d for d in semantics.diagnose(desc)
+                if d.code == "ISDL201"]
+    assert findings
+    assert all(d.severity is Severity.WARNING for d in findings)
