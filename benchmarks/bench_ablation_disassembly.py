@@ -11,6 +11,7 @@ import pytest
 from conftest import record, record_json
 from _kernels import preload_for, speed_program
 
+from repro.gensim.disassembler import Disassembler
 from repro.gensim.xsim import XSim
 
 ARCH = "spam"
@@ -33,6 +34,10 @@ def _run_online_decode(sim):
     scheduler = sim.scheduler
     program = scheduler.program
     im_name = sim.desc.instruction_memory().name
+    # the simulator's own disassembler memoizes by word, which would turn
+    # every repeated fetch into a dict hit — the ablation measures the
+    # paper's genuine decode-every-cycle cost, so decode unmemoized
+    decoder = Disassembler(sim.desc, sim.disassembler.table, cache_size=0)
     while True:
         scheduler._commit_due()
         if scheduler.halted:
@@ -41,7 +46,7 @@ def _run_online_decode(sim):
         scheduler._charge_stalls(address)
         # On-line decode: fetch the word and disassemble it NOW.
         word = sim.state.read(im_name, address)
-        decoded = sim.disassembler.disassemble(word)
+        decoded = decoder.disassemble(word)
         prepared = scheduler._prepare(decoded)
         result = scheduler.core.execute(sim.state, prepared.selections)
         scheduler._record(address, prepared, result)

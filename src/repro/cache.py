@@ -19,13 +19,18 @@ Two layers:
 
 The cache is thread-safe; builders run outside the lock, so two threads
 racing on the same key may both build (last store wins) but never corrupt
-the table.  All disk I/O is best-effort: a corrupt or unreadable pickle is
-treated as a miss and rebuilt.
+the table.  All disk I/O is best-effort and safe under concurrent
+writers: saves go to a uniquely named temp file (pid + thread + sequence)
+and land with an atomic ``os.replace``, so a reader never sees a
+half-written pickle; a corrupt or truncated entry is treated as a miss —
+counted in ``stats.disk_errors`` and the ``cache.disk_corrupt`` obs
+counter, and the bad file is removed so the rebuild overwrites it.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import threading
@@ -53,6 +58,8 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    #: disk entries that existed but failed to load (corrupt/truncated)
+    disk_errors: int = 0
     hits_by_kind: Counter = field(default_factory=Counter)
     misses_by_kind: Counter = field(default_factory=Counter)
 
@@ -69,6 +76,9 @@ class CacheStats:
             f"cache: {self.hits} hits / {self.misses} misses"
             f" ({self.hit_rate * 100:.1f}% hit rate),"
             f" {self.evictions} evictions, {self.disk_hits} from disk"
+            + (f", {self.disk_errors} corrupt disk entr"
+               f"{'y' if self.disk_errors == 1 else 'ies'}"
+               if self.disk_errors else "")
         ]
         for kind in sorted(set(self.hits_by_kind) | set(self.misses_by_kind)):
             lines.append(
@@ -161,6 +171,16 @@ class ArtifactCache:
     # Disk layer (best-effort, picklable kinds only)
     # ------------------------------------------------------------------
 
+    #: everything a hostile/truncated pickle can raise at load time
+    _DISK_LOAD_ERRORS = (
+        OSError, pickle.PickleError, EOFError, AttributeError,
+        ImportError, IndexError, ValueError, TypeError,
+        MemoryError,
+    )
+
+    #: unique temp-file names even for two threads saving the same key
+    _tmp_seq = itertools.count()
+
     def _disk_file(self, kind: str, key: Hashable) -> str:
         digest = hashlib.sha256(repr((kind, key)).encode()).hexdigest()
         return os.path.join(self.disk_path, f"{kind}-{digest[:32]}.pkl")
@@ -168,23 +188,43 @@ class ArtifactCache:
     def _disk_load(self, kind: str, key: Hashable) -> Tuple[Any, bool]:
         if not self.disk_path or kind not in self.PICKLABLE_KINDS:
             return None, False
+        path = self._disk_file(kind, key)
         try:
-            with open(self._disk_file(kind, key), "rb") as handle:
+            with open(path, "rb") as handle:
                 return pickle.load(handle), True
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+        except FileNotFoundError:
+            return None, False  # a plain miss, not a corrupt entry
+        except self._DISK_LOAD_ERRORS:
+            # the entry exists but cannot be loaded (truncated write from
+            # a killed process, version skew, bit rot): count it, drop
+            # the bad file so the rebuild overwrites it, report a miss
+            with self._lock:
+                self.stats.disk_errors += 1
+            obs.add("cache.disk_corrupt")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None, False
 
     def _disk_save(self, kind: str, key: Hashable, value: Any) -> None:
         if not self.disk_path or kind not in self.PICKLABLE_KINDS:
             return
         path = self._disk_file(kind, key)
+        # temp-file-then-rename keeps the landing atomic; the name is
+        # unique per (process, thread, save) so concurrent writers of the
+        # same key never clobber each other's half-written temp file
+        tmp = (f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+               f".{next(self._tmp_seq)}")
         try:
-            tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "wb") as handle:
                 pickle.dump(value, handle)
             os.replace(tmp, path)
         except (OSError, pickle.PickleError, TypeError):
-            pass
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # Typed helpers — the key conventions of the tool chain

@@ -2,6 +2,7 @@
 
 from .compile import CompiledProgram, Compiler, compile_kernel
 from .ir import Cond, Imm, IrOp, Kernel, KernelBuilder, Opcode, VReg
+from .kernels import available_kernels, kernel_from_spec, resolve_kernels
 from .regalloc import allocate, live_intervals, max_pressure
 from .select import Pattern, TargetIsa, analyze
 
@@ -16,6 +17,9 @@ __all__ = [
     "KernelBuilder",
     "Opcode",
     "VReg",
+    "available_kernels",
+    "kernel_from_spec",
+    "resolve_kernels",
     "allocate",
     "live_intervals",
     "max_pressure",

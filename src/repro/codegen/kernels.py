@@ -1,0 +1,156 @@
+"""A registry of named benchmark kernels for remote callers.
+
+The in-process exploration API takes :class:`~repro.codegen.ir.Kernel`
+objects built with :class:`~repro.codegen.ir.KernelBuilder`; a client of
+the evaluation service (:mod:`repro.serve`) only has JSON to work with,
+so workloads travel as *specs* — ``"name"`` or ``"name:size"`` strings
+resolved here into the same IR kernels the examples use.  The registry is
+deliberately small and mirrors the kernels the paper's introduction
+motivates: reduction loops, a shift-add dot product, block moves, and a
+memory fill.
+
+A spec's size parameter scales the iteration count, so callers can dial
+simulated work without new code on the server.  Resolution is pure (the
+same spec always produces a structurally identical kernel), which keeps
+:func:`repro.cache.kernel_fingerprint` stable across submissions — the
+property the service's request-coalescing key relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import CodegenError
+from .ir import Cond, Kernel, KernelBuilder, Opcode
+
+__all__ = [
+    "KERNEL_FACTORIES",
+    "available_kernels",
+    "kernel_from_spec",
+    "parse_kernel_spec",
+    "resolve_kernels",
+]
+
+
+def sum_kernel(n: int = 40) -> Kernel:
+    """Sum the integers n..1 into an accumulator and store it at DM[0]."""
+    K = KernelBuilder(f"sum{n}")
+    cnt = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return K.build()
+
+
+def dot_kernel(n: int = 8) -> Kernel:
+    """Integer dot product via shift-add multiply (no multiplier needed)."""
+    K = KernelBuilder(f"dot{n}")
+    a_ptr = K.li(0)
+    b_ptr = K.li(16)
+    count = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    a = K.load(a_ptr)
+    b = K.load(b_ptr)
+    partial = K.li(0)
+    bit = K.li(8)
+    K.label("mul")
+    masked = K.and_(b, 1)
+    K.cbr(Cond.EQ, masked, 0, "skip")
+    K.binary_into(partial, Opcode.ADD, partial, a)
+    K.label("skip")
+    K.binary_into(a, Opcode.SHL, a, 1)
+    K.binary_into(b, Opcode.SHR, b, 1)
+    K.binary_into(bit, Opcode.SUB, bit, 1)
+    K.cbr(Cond.NE, bit, 0, "mul")
+    K.binary_into(acc, Opcode.ADD, acc, partial)
+    K.binary_into(a_ptr, Opcode.ADD, a_ptr, 1)
+    K.binary_into(b_ptr, Opcode.ADD, b_ptr, 1)
+    K.binary_into(count, Opcode.SUB, count, 1)
+    K.cbr(Cond.NE, count, 0, "loop")
+    K.store(K.li(40), acc)
+    return K.build()
+
+
+def blockmove_kernel(n: int = 12) -> Kernel:
+    """Copy n words from DM[0..] to DM[64..]."""
+    K = KernelBuilder(f"blockmove{n}")
+    src = K.li(0)
+    dst = K.li(64)
+    count = K.li(n)
+    K.label("loop")
+    K.store(dst, K.load(src))
+    K.binary_into(src, Opcode.ADD, src, 1)
+    K.binary_into(dst, Opcode.ADD, dst, 1)
+    K.binary_into(count, Opcode.SUB, count, 1)
+    K.cbr(Cond.NE, count, 0, "loop")
+    return K.build()
+
+
+def memset_kernel(n: int = 16) -> Kernel:
+    """Fill n words at DM[32..] with a constant."""
+    K = KernelBuilder(f"memset{n}")
+    dst = K.li(32)
+    value = K.li(85)
+    count = K.li(n)
+    K.label("loop")
+    K.store(dst, value)
+    K.binary_into(dst, Opcode.ADD, dst, 1)
+    K.binary_into(count, Opcode.SUB, count, 1)
+    K.cbr(Cond.NE, count, 0, "loop")
+    return K.build()
+
+
+#: spec name -> (factory taking the size parameter, default size)
+KERNEL_FACTORIES: Dict[str, Tuple[Callable[[int], Kernel], int]] = {
+    "sum": (sum_kernel, 40),
+    "dot": (dot_kernel, 8),
+    "blockmove": (blockmove_kernel, 12),
+    "memset": (memset_kernel, 16),
+}
+
+
+def available_kernels() -> List[str]:
+    """The spec names :func:`kernel_from_spec` accepts, sorted."""
+    return sorted(KERNEL_FACTORIES)
+
+
+def parse_kernel_spec(spec: str) -> Tuple[str, int]:
+    """Split ``"name"`` / ``"name:size"`` into a validated (name, size)."""
+    name, _, size_text = spec.partition(":")
+    name = name.strip()
+    entry = KERNEL_FACTORIES.get(name)
+    if entry is None:
+        raise CodegenError(
+            f"unknown workload kernel {name!r}"
+            f" (available: {', '.join(available_kernels())})"
+        )
+    _, default_size = entry
+    if not size_text:
+        return name, default_size
+    try:
+        size = int(size_text)
+    except ValueError:
+        raise CodegenError(
+            f"bad workload size in {spec!r}: {size_text!r} is not an integer"
+        ) from None
+    if size <= 0:
+        raise CodegenError(f"workload size must be positive in {spec!r}")
+    return name, size
+
+
+def kernel_from_spec(spec: str) -> Kernel:
+    """Build the kernel a ``"name[:size]"`` spec names."""
+    name, size = parse_kernel_spec(spec)
+    factory, _ = KERNEL_FACTORIES[name]
+    return factory(size)
+
+
+def resolve_kernels(specs: Sequence[str]) -> List[Kernel]:
+    """Resolve a list of specs; order is preserved, duplicates allowed."""
+    if not specs:
+        raise CodegenError("at least one workload kernel spec is required")
+    return [kernel_from_spec(spec) for spec in specs]

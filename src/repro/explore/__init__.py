@@ -3,7 +3,7 @@
 from .explorer import Candidate, ExplorationLog, Explorer
 from .metrics import CostWeights, Evaluation, evaluate, evaluation_key
 from .parallel import EvalRequest, EvalResult, ParallelEvaluator
-from .report import evaluation_table, exploration_report
+from .report import evaluation_table, exploration_report, service_metrics_table
 from . import transforms
 
 __all__ = [
@@ -19,5 +19,6 @@ __all__ = [
     "ParallelEvaluator",
     "evaluation_table",
     "exploration_report",
+    "service_metrics_table",
     "transforms",
 ]

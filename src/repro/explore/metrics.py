@@ -111,6 +111,7 @@ def evaluate(
     weights: Optional[CostWeights] = None,
     cache: Optional[ArtifactCache] = None,
     sim_backend: str = "xsim",
+    memoize: bool = True,
 ) -> Evaluation:
     """Run the full Figure-1 measurement pipeline on one candidate.
 
@@ -125,6 +126,12 @@ def evaluate(
     scored on runtime/area/power alone.  Backends are cycle-identical, but
     the key still separates them so cached evaluations carry the stats
     their backend actually produced.
+
+    *memoize* (keyword-only) controls only the whole-evaluation memo:
+    with ``memoize=False`` the pipeline still shares artifact-level
+    caches (signature tables, cores, programs, synthesis) but always
+    re-runs the measurement itself — what the evaluation service's
+    no-dedup baseline and simulator-noise studies need.
     """
     label = name or desc.name
     if cache is None:
@@ -133,6 +140,10 @@ def evaluate(
                                       weights, sim_backend=sim_backend)
     with obs.span("explore.evaluate", candidate=label):
         fp = fingerprint(desc)
+        if not memoize:
+            return _evaluate_uncached(desc, kernels, max_steps, label,
+                                      weights, cache=cache, fp=fp,
+                                      sim_backend=sim_backend)
         key = evaluation_key(desc, kernels, max_steps, fp, sim_backend)
         evaluation = cache.evaluation(
             key,

@@ -92,12 +92,14 @@ _WORKER_STATE: dict = {}
 def _pool_init(kernels: Sequence[Kernel], max_steps: int,
                weights: Optional[CostWeights],
                obs_enabled: bool = False,
-               sim_backend: str = "xsim") -> None:
+               sim_backend: str = "xsim",
+               memoize: bool = True) -> None:
     _WORKER_STATE["kernels"] = list(kernels)
     _WORKER_STATE["max_steps"] = max_steps
     _WORKER_STATE["weights"] = weights
     _WORKER_STATE["cache"] = ArtifactCache(max_entries=128)
     _WORKER_STATE["sim_backend"] = sim_backend
+    _WORKER_STATE["memoize"] = memoize
     if obs_enabled:
         obs.enable()
 
@@ -118,6 +120,7 @@ def _pool_evaluate(index: int, desc: ast.Description,
                 weights=_WORKER_STATE["weights"],
                 cache=_WORKER_STATE["cache"],
                 sim_backend=_WORKER_STATE.get("sim_backend", "xsim"),
+                memoize=_WORKER_STATE.get("memoize", True),
             )
         except Exception as exc:  # noqa: BLE001 — failure capture is the point
             error = _format_error(exc)
@@ -143,6 +146,7 @@ class ParallelEvaluator:
         mode: str = "auto",
         sim_backend: str = "xsim",
         static_check: bool = True,
+        memoize: bool = True,
     ):
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown evaluator mode {mode!r}")
@@ -154,6 +158,9 @@ class ParallelEvaluator:
         self.mode = mode
         self.sim_backend = sim_backend
         self.static_check = static_check
+        #: False disables the whole-evaluation memo and warm-path probe
+        #: (artifact-level caches still apply); see explore.metrics.evaluate
+        self.memoize = memoize
         self._pool = None
         self._pool_kind: Optional[str] = None
 
@@ -167,7 +174,7 @@ class ParallelEvaluator:
         return evaluate(
             desc, self.kernels, self.max_steps,
             name=label, weights=self.weights, cache=self.cache,
-            sim_backend=self.sim_backend,
+            sim_backend=self.sim_backend, memoize=self.memoize,
         )
 
     def evaluate_many(
@@ -271,7 +278,7 @@ class ParallelEvaluator:
     def _cache_probe(self, index: int,
                      request: EvalRequest) -> Optional[EvalResult]:
         """Warm-path lookup in the parent cache before dispatching."""
-        if self.cache is None:
+        if self.cache is None or not self.memoize:
             return None
         label = request.display_label
         try:
@@ -367,7 +374,7 @@ class ParallelEvaluator:
                evaluation: Evaluation) -> Evaluation:
         """Store a worker-produced evaluation in the parent cache, so the
         warm path serves it next time regardless of pool mode."""
-        if self.cache is None:
+        if self.cache is None or not self.memoize:
             return evaluation
         key = evaluation_key(request.desc, self.kernels, self.max_steps,
                              evaluation.fingerprint or None,
@@ -392,7 +399,7 @@ class ParallelEvaluator:
                 max_workers=self.max_workers,
                 initializer=_pool_init,
                 initargs=(self.kernels, self.max_steps, self.weights,
-                          obs.enabled(), self.sim_backend),
+                          obs.enabled(), self.sim_backend, self.memoize),
             )
         self._pool_kind = kind
         return self._pool

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..cache import ArtifactCache
+from ..obs import MetricsSnapshot
 from .explorer import ExplorationLog
 from .metrics import CostWeights, Evaluation
 
@@ -32,13 +33,42 @@ def evaluation_table(evaluations: List[Evaluation],
     return "\n".join(lines)
 
 
+def service_metrics_table(snapshot: MetricsSnapshot) -> str:
+    """The evaluation-service section of a report: every ``serve.*``
+    counter and gauge from *snapshot*, one per line, sorted by name.
+
+    Returns an empty string when the snapshot carries no service
+    metrics (e.g. the run never touched :mod:`repro.serve`).
+    """
+    rows = []
+    for name in sorted(snapshot.counters):
+        if name.startswith("serve."):
+            rows.append((name, snapshot.counters[name]))
+    for name in sorted(snapshot.gauges):
+        if name.startswith("serve."):
+            rows.append((name, snapshot.gauges[name]))
+    if not rows:
+        return ""
+    lines = ["evaluation service:"]
+    for name, value in rows:
+        text = f"{value:g}" if value != int(value) else f"{int(value)}"
+        lines.append(f"  {name:<28} {text:>10}")
+    return "\n".join(lines)
+
+
 def exploration_report(log: ExplorationLog,
-                       cache: Optional[ArtifactCache] = None) -> str:
+                       cache: Optional[ArtifactCache] = None,
+                       metrics: Optional[MetricsSnapshot] = None) -> str:
     """The trajectory of one exploration run.
 
     Pass the run's *cache* to append its hit/miss accounting; when the
     run was made with :mod:`repro.obs` enabled, the merged per-stage
-    profile of every candidate measurement is appended as well.
+    profile of every candidate measurement is appended as well.  Pass a
+    *metrics* snapshot (e.g. ``service.metrics_snapshot()`` from a
+    :class:`repro.serve.EvaluationService`) to append the service's
+    job accounting — accepted/coalesced/rejected counts and queue
+    depth — so batch runs driven through the daemon report the same
+    way as in-process ones.
     """
     statically_rejected = sum(1 for r in log.errors if r.diagnostics)
     lines = [
@@ -67,4 +97,9 @@ def exploration_report(log: ExplorationLog,
         lines.append(f"stage profile ({len(log.profiles)} candidate"
                      f" measurement(s)):")
         lines.append(profile.stage_table())
+    if metrics is not None:
+        table = service_metrics_table(metrics)
+        if table:
+            lines.append("")
+            lines.append(table)
     return "\n".join(lines)

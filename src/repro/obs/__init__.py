@@ -78,6 +78,7 @@ __all__ = [
     "validate_chrome_trace",
     "SpanFileTrace",
     "open_span_trace",
+    "prometheus_text",
     "DEFAULT_BUCKETS",
 ]
 
@@ -255,7 +256,7 @@ def capture() -> Iterator[Capture]:
 
 
 def __getattr__(name: str):
-    if name in ("SpanFileTrace", "open_span_trace"):
+    if name in ("SpanFileTrace", "open_span_trace", "prometheus_text"):
         from . import export
 
         return getattr(export, name)

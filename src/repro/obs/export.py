@@ -21,12 +21,14 @@ imported at package-import time).
 
 from __future__ import annotations
 
-from typing import TextIO
+import re
+from typing import List, TextIO
 
 from ..gensim.trace import FileTrace
+from .metrics import MetricsSnapshot
 from .tracing import SpanRecord
 
-__all__ = ["SpanFileTrace", "open_span_trace"]
+__all__ = ["SpanFileTrace", "open_span_trace", "prometheus_text"]
 
 
 class SpanFileTrace(FileTrace):
@@ -61,3 +63,58 @@ def open_span_trace(path: str) -> SpanFileTrace:
     """Open *path* for writing and return a :class:`SpanFileTrace` on it."""
     return SpanFileTrace(open(path, "w", encoding="utf-8"),
                          close_stream=True)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (what `GET /metrics` on the evaluation
+# service serves) — the 0.0.4 text format, standard library only.
+# ---------------------------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus grammar."""
+    sanitized = _METRIC_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    return f"{int(value)}" if value == int(value) else repr(float(value))
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsSnapshot` in the
+    Prometheus text exposition format.
+
+    Counters gain a ``_total`` suffix, histograms expand into cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, and dotted
+    registry names map onto underscores (``serve.jobs_accepted`` →
+    ``serve_jobs_accepted_total``).  Output is sorted by metric name so
+    scrapes diff cleanly.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        data = snapshot.histograms[name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(data.buckets, data.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data.count}')
+        lines.append(f"{metric}_sum {_prom_value(data.total)}")
+        lines.append(f"{metric}_count {data.count}")
+    return "\n".join(lines) + "\n"

@@ -14,6 +14,23 @@ Merge semantics:
 * gauges take the incoming value — merging in submission order therefore
   yields a deterministic result.
 
+Memory model (what the evaluation service's worker threads rely on):
+
+* the registry lock guards only the name → handle maps; every
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` handle carries its
+  *own* mutex, so writes to different metrics never contend and an
+  increment can never be lost — ``inc``/``add``/``observe`` are
+  read-modify-write under the handle lock, not bare ``+=``;
+* :meth:`MetricsRegistry.snapshot` is consistent **per handle** (each
+  counter value and histogram is internally coherent) but not atomic
+  across handles: a snapshot taken mid-flight may show counter A after
+  an event and counter B before it.  Derived rates across metrics are
+  therefore approximate while writers are running and exact once they
+  stop;
+* :meth:`MetricsRegistry.merge` folds a snapshot in handle by handle
+  under the same per-handle locks, so merging is safe concurrently with
+  live writers.
+
 This module depends only on the standard library; every tool-chain layer may
 import it without creating a cycle.
 """
@@ -92,14 +109,15 @@ class HistogramData:
 
 class Counter:
     """A monotonically increasing value (float-valued, so it can also
-    accumulate seconds)."""
+    accumulate seconds).  Each counter owns its mutex, so hot counters
+    on different names never serialize against each other."""
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str, lock: threading.RLock):
+    def __init__(self, name: str):
         self.name = name
         self.value = 0.0
-        self._lock = lock
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         with self._lock:
@@ -111,10 +129,10 @@ class Gauge:
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str, lock: threading.RLock):
+    def __init__(self, name: str):
         self.name = name
         self.value = 0.0
-        self._lock = lock
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -131,7 +149,7 @@ class Histogram:
 
     __slots__ = ("name", "buckets", "counts", "total", "count", "_lock")
 
-    def __init__(self, name: str, lock: threading.RLock,
+    def __init__(self, name: str,
                  buckets: Sequence[float] = DEFAULT_BUCKETS):
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted and non-empty")
@@ -140,7 +158,7 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.total = 0.0
         self.count = 0
-        self._lock = lock
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -151,6 +169,19 @@ class Histogram:
                     self.counts[i] += 1
                     return
             self.counts[-1] += 1
+
+    def merge_data(self, data: HistogramData) -> None:
+        """Fold plain histogram data in under this handle's lock."""
+        if self.buckets != data.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket layouts"
+                f" differ"
+            )
+        with self._lock:
+            self.total += data.total
+            self.count += data.count
+            for i, n in enumerate(data.counts):
+                self.counts[i] += n
 
     def data(self) -> HistogramData:
         with self._lock:
@@ -270,7 +301,12 @@ class MetricsSnapshot:
 
 
 class MetricsRegistry:
-    """A thread-safe collection of named counters, gauges, and histograms."""
+    """A thread-safe collection of named counters, gauges, and histograms.
+
+    The registry lock guards only the name → handle maps; recording goes
+    through each handle's own lock (see the module docstring for the
+    memory model).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
@@ -284,14 +320,14 @@ class MetricsRegistry:
         with self._lock:
             handle = self._counters.get(name)
             if handle is None:
-                handle = self._counters[name] = Counter(name, self._lock)
+                handle = self._counters[name] = Counter(name)
             return handle
 
     def gauge(self, name: str) -> Gauge:
         with self._lock:
             handle = self._gauges.get(name)
             if handle is None:
-                handle = self._gauges[name] = Gauge(name, self._lock)
+                handle = self._gauges[name] = Gauge(name)
             return handle
 
     def histogram(self, name: str,
@@ -299,9 +335,7 @@ class MetricsRegistry:
         with self._lock:
             handle = self._histograms.get(name)
             if handle is None:
-                handle = self._histograms[name] = Histogram(
-                    name, self._lock, buckets
-                )
+                handle = self._histograms[name] = Histogram(name, buckets)
             return handle
 
     # -- one-shot conveniences -------------------------------------------
@@ -319,33 +353,33 @@ class MetricsRegistry:
     # -- snapshot / merge -------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
+        # Take the handle maps under the registry lock, then read each
+        # handle through its own lock (h.data()).  Scalar counter/gauge
+        # reads are single attribute loads, atomic under the GIL.
         with self._lock:
-            return MetricsSnapshot(
-                {n: c.value for n, c in self._counters.items()},
-                {n: g.value for n, g in self._gauges.items()},
-                {n: h.data() for n, h in self._histograms.items()},
-            )
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return MetricsSnapshot(
+            {n: c.value for n, c in counters.items()},
+            {n: g.value for n, g in gauges.items()},
+            {n: h.data() for n, h in histograms.items()},
+        )
 
     def merge(self, snapshot: Optional[MetricsSnapshot]) -> None:
-        """Fold a snapshot (e.g. from a pool worker) into this registry."""
+        """Fold a snapshot (e.g. from a pool worker) into this registry.
+
+        Safe concurrently with live writers: every update goes through
+        the target handle's own lock.
+        """
         if snapshot is None:
             return
-        with self._lock:
-            for name, value in snapshot.counters.items():
-                self.counter(name).inc(value)
-            for name, value in snapshot.gauges.items():
-                self.gauge(name).set(value)
-            for name, data in snapshot.histograms.items():
-                handle = self.histogram(name, data.buckets)
-                if handle.buckets != data.buckets:
-                    raise ValueError(
-                        f"cannot merge histogram {name!r}: bucket layouts"
-                        f" differ"
-                    )
-                handle.total += data.total
-                handle.count += data.count
-                for i, n in enumerate(data.counts):
-                    handle.counts[i] += n
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.histograms.items():
+            self.histogram(name, data.buckets).merge_data(data)
 
     def clear(self) -> None:
         with self._lock:

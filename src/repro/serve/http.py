@@ -1,0 +1,223 @@
+"""The JSON-over-HTTP front of the evaluation service.
+
+Standard library only: a :class:`http.server.ThreadingHTTPServer` whose
+handler translates the wire protocol into
+:class:`~repro.serve.service.EvaluationService` calls.  Endpoints:
+
+=======  ==================  ===========================================
+method   path                meaning
+=======  ==================  ===========================================
+POST     ``/v1/jobs``        submit a job (202 accepted / 202 coalesced,
+                             422 rejected-with-diagnostics, 429 queue
+                             full, 400 malformed, 503 draining)
+GET      ``/v1/jobs/<id>``   one job's full record (404 unknown)
+GET      ``/v1/jobs``        recent submissions, brief records
+GET      ``/healthz``        liveness + queue/worker/job-state summary
+                             (503 while draining)
+GET      ``/metrics``        the service registry in Prometheus text
+                             exposition format
+=======  ==================  ===========================================
+
+Error responses are JSON objects with an ``"error"`` key.  The handler
+threads are I/O only — all evaluation work stays on the service's own
+worker pool — so a slow client never blocks a measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.export import prometheus_text
+from .jobs import QueueFullError, ServiceUnavailableError
+from .service import BadRequestError, EvaluationService, UnknownJobError
+
+__all__ = ["ServeHTTPServer", "make_server", "serve_in_thread"]
+
+#: request bodies above this size are refused outright (413)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`EvaluationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # headers and body land in separate writes; without TCP_NODELAY the
+    # Nagle/delayed-ACK interaction stalls every response ~40 ms
+    disable_nagle_algorithm = True
+    # the default listen backlog of 5 drops SYNs when a client burst
+    # connects at once, costing each dropped connect a ~1 s retransmit
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int],
+                 service: EvaluationService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        if ":" in host:  # bare IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{port}"
+
+    def shutdown_service(self, drain: bool = True,
+                         timeout: float = 30.0) -> None:
+        """Graceful stop: drain the service, then stop serving HTTP."""
+        self.service.shutdown(drain=drain, timeout=timeout)
+        self.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing ---------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        if self.path.rstrip("/") == "/v1/jobs":
+            self._submit()
+        else:
+            self._send_error(404, f"no such endpoint: POST {self.path}")
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._health()
+        elif path == "/metrics":
+            self._metrics()
+        elif path.rstrip("/") == "/v1/jobs":
+            self._list_jobs()
+        elif path.startswith("/v1/jobs/"):
+            self._job_status(path[len("/v1/jobs/"):].strip("/"))
+        else:
+            self._send_error(404, f"no such endpoint: GET {path}")
+
+    # -- endpoints -------------------------------------------------------
+
+    def _submit(self) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        service: EvaluationService = self.server.service
+        try:
+            job = service.submit(payload)
+        except BadRequestError as exc:
+            self._send_error(400, str(exc))
+            return
+        except QueueFullError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc),
+                 "queue_depth": len(service.queue)},
+                headers={"Retry-After": "1"},
+            )
+            return
+        except ServiceUnavailableError as exc:
+            self._send_error(503, str(exc))
+            return
+        status = 422 if job.state.value == "rejected" else 202
+        self._send_json(status, job.to_dict(full=True))
+
+    def _job_status(self, job_id: str) -> None:
+        try:
+            job = self.server.service.job(job_id)
+        except UnknownJobError as exc:
+            self._send_error(404, str(exc))
+            return
+        self._send_json(200, job.to_dict(full=True))
+
+    def _list_jobs(self) -> None:
+        jobs = self.server.service.jobs()
+        self._send_json(200, {
+            "jobs": [job.to_dict(full=False) for job in jobs],
+        })
+
+    def _health(self) -> None:
+        health = self.server.service.health()
+        status = 503 if health["status"] == "draining" else 200
+        self._send_json(status, health)
+
+    def _metrics(self) -> None:
+        body = prometheus_text(
+            self.server.service.metrics_snapshot()
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0:
+            self._send_error(400, "missing request body")
+            return None
+        if length > MAX_BODY_BYTES:
+            # drain the declared body (bounded) so the client finishes
+            # its send and reads the 413 instead of dying on EPIPE,
+            # then drop the connection
+            remaining = min(length, 4 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            self._send_error(413, "request body too large")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error(400, f"request body is not valid JSON: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the service metrics' job, not stderr's
+
+
+def make_server(service: EvaluationService, host: str = "127.0.0.1",
+                port: int = 0) -> ServeHTTPServer:
+    """Bind (port 0 picks a free one) and start the service's workers."""
+    server = ServeHTTPServer((host, port), service)
+    service.start()
+    return server
+
+
+def serve_in_thread(service: EvaluationService, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[ServeHTTPServer,
+                                            threading.Thread]:
+    """Run the HTTP server on a daemon thread (tests, benchmarks)."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-http", daemon=True)
+    thread.start()
+    return server, thread

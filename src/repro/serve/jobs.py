@@ -1,0 +1,283 @@
+"""Job records and the bounded priority queue of the evaluation service.
+
+A :class:`Job` is the unit of work a client submits: one candidate
+description plus the workload/backend/weight configuration to measure it
+under.  Jobs move through a small, explicit lifecycle::
+
+    queued ──▶ running ──▶ succeeded
+       │          │  └────▶ failed          (error / timeout exhausted)
+       │          └─(timeout, retries left)─▶ queued
+       ├─▶ cancelled                        (drained while queued)
+       └─  rejected                         (admission gate, never queued)
+
+Coalesced followers never enter the queue at all: they reference their
+leader job and receive a copy of its terminal state (see
+:mod:`repro.serve.service`).
+
+:class:`JobQueue` is a heap-based priority queue with three properties
+the service needs and ``queue.PriorityQueue`` does not give us together:
+a hard depth bound that *raises* (:class:`QueueFullError` — the HTTP
+layer turns it into a 429) instead of blocking the acceptor thread,
+per-entry ``not_before`` delays for retry backoff, and a batch pop that
+groups ready jobs sharing an evaluator configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analyze.diagnostics import Diagnostic
+from ..errors import ReproError
+from ..explore.metrics import CostWeights, Evaluation
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueFullError",
+    "ServiceUnavailableError",
+    "new_job_id",
+]
+
+
+class QueueFullError(ReproError):
+    """The job queue is at its configured depth bound (HTTP 429)."""
+
+
+class ServiceUnavailableError(ReproError):
+    """The service is draining or stopped and accepts no new jobs (503)."""
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a job record."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    REJECTED = "rejected"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.REJECTED,
+     JobState.CANCELLED}
+)
+
+
+def new_job_id() -> str:
+    """A short, URL-safe, collision-resistant job identifier."""
+    return secrets.token_hex(8)
+
+
+@dataclass
+class Job:
+    """One submitted evaluation with its full lifecycle record."""
+
+    id: str
+    desc: Any  # ast.Description (kept loose: jobs never pickle)
+    label: str
+    workloads: Tuple[str, ...]
+    kernels: Tuple[Any, ...]  # resolved codegen Kernels, submission order
+    weights: CostWeights
+    backend: str
+    max_steps: int
+    priority: int = 0
+    timeout_s: float = 60.0
+    #: the coalescing key (shared with the service; None when disabled)
+    key: Optional[Tuple] = None
+    state: JobState = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    evaluation: Optional[Evaluation] = None
+    #: leader job id when this submission coalesced onto an in-flight twin
+    coalesced_with: Optional[str] = None
+    #: follower jobs to fan the terminal state out to (leader side)
+    followers: List["Job"] = field(default_factory=list)
+    #: True when the terminal evaluation came from the warm cache
+    cached: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.state.terminal
+
+    @property
+    def config_key(self) -> Tuple:
+        """What must match for two jobs to share one evaluator/batch."""
+        return (self.workloads, (self.weights.runtime, self.weights.area,
+                                 self.weights.power),
+                self.backend, self.max_steps)
+
+    def to_dict(self, full: bool = True) -> Dict[str, Any]:
+        """The job's wire representation (JSON-serializable)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "label": self.label,
+            "workloads": list(self.workloads),
+            "backend": self.backend,
+            "priority": self.priority,
+            "created_at": self.created_at,
+        }
+        if self.coalesced_with is not None:
+            payload["coalesced_with"] = self.coalesced_with
+        if not full:
+            return payload
+        payload.update(
+            max_steps=self.max_steps,
+            timeout_s=self.timeout_s,
+            attempts=self.attempts,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            cached=self.cached,
+        )
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.diagnostics:
+            payload["diagnostics"] = [d.to_dict() for d in self.diagnostics]
+        if self.evaluation is not None:
+            payload["result"] = _evaluation_dict(self.evaluation,
+                                                 self.weights)
+        return payload
+
+
+def _evaluation_dict(evaluation: Evaluation,
+                     weights: CostWeights) -> Dict[str, Any]:
+    if not evaluation.feasible:
+        return {"feasible": False, "reason": evaluation.reason,
+                "cost": None}
+    return {
+        "feasible": True,
+        "cycles": evaluation.cycles,
+        "stall_cycles": evaluation.stall_cycles,
+        "cycle_ns": evaluation.cycle_ns,
+        "runtime_us": evaluation.runtime_us,
+        "die_size": evaluation.die_size,
+        "power_mw": evaluation.power_mw,
+        "cost": evaluation.cost(weights),
+        "per_kernel_cycles": dict(evaluation.per_kernel_cycles),
+        "fingerprint": evaluation.fingerprint,
+    }
+
+
+class JobQueue:
+    """Bounded priority queue with retry delays and config-batched pops.
+
+    Entries are ``(not_before, -priority, seq, job)`` heap tuples: higher
+    ``priority`` pops first, FIFO within a priority level, and an entry
+    whose ``not_before`` lies in the future (a retry backing off) is
+    invisible until its time comes.  ``max_depth`` bounds queued — not
+    running — jobs; :meth:`push` raises :class:`QueueFullError` at the
+    bound so the acceptor can answer 429 instead of blocking.
+    """
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 1:
+            raise ValueError("queue depth bound must be >= 1")
+        self.max_depth = max_depth
+        self._heap: List[Tuple[float, int, int, Job]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._stopped = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def push(self, job: Job, not_before: float = 0.0,
+             enforce_bound: bool = True) -> None:
+        """Queue *job*; raises :class:`QueueFullError` at the depth bound.
+
+        Retries re-entering the queue pass ``enforce_bound=False``: a job
+        the service already accepted must never be dropped because newer
+        submissions filled the queue behind it.
+        """
+        with self._cond:
+            if self._stopped:
+                raise ServiceUnavailableError("job queue is stopped")
+            if enforce_bound and len(self._heap) >= self.max_depth:
+                raise QueueFullError(
+                    f"job queue is full ({self.max_depth} queued)"
+                )
+            heapq.heappush(
+                self._heap,
+                (not_before, -job.priority, next(self._seq), job),
+            )
+            self._cond.notify()
+
+    def pop_batch(self, batch_size: int = 1,
+                  timeout: Optional[float] = None) -> Optional[List[Job]]:
+        """Block for the next ready job; greedily add up to
+        ``batch_size - 1`` more ready jobs sharing its ``config_key``.
+
+        Returns None when the queue was stopped and nothing ready remains
+        (or *timeout* elapsed).  Jobs with a different configuration stay
+        queued in order.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            first = self._wait_for_ready(deadline)
+            if first is None:
+                return None
+            batch = [first]
+            skipped: List[Tuple[float, int, int, Job]] = []
+            while (len(batch) < batch_size and self._heap
+                   and self._heap[0][0] <= time.monotonic()):
+                entry = heapq.heappop(self._heap)
+                if entry[3].config_key == first.config_key:
+                    batch.append(entry[3])
+                else:
+                    skipped.append(entry)
+            for entry in skipped:
+                heapq.heappush(self._heap, entry)
+            return batch
+
+    def _wait_for_ready(self, deadline: Optional[float]) -> Optional[Job]:
+        """Pop the first ready entry, waiting out delays and empty spells."""
+        while True:
+            now = time.monotonic()
+            if self._heap and self._heap[0][0] <= now:
+                return heapq.heappop(self._heap)[3]
+            if self._stopped:
+                return None
+            if self._heap:
+                wait = self._heap[0][0] - now
+            elif deadline is not None:
+                wait = deadline - now
+            else:
+                wait = None
+            if deadline is not None:
+                wait = min(wait, deadline - now) if wait is not None \
+                    else deadline - now
+                if wait <= 0:
+                    return None
+            self._cond.wait(wait)
+
+    def drain(self) -> List[Job]:
+        """Stop the queue and return every still-queued job (any delay)."""
+        with self._cond:
+            self._stopped = True
+            drained = [entry[3] for entry in sorted(self._heap)]
+            self._heap.clear()
+            self._cond.notify_all()
+            return drained
+
+    @property
+    def stopped(self) -> bool:
+        with self._cond:
+            return self._stopped

@@ -133,3 +133,50 @@ def test_report_appends_merged_stage_profile():
 def test_obs_disabled_log_profile_is_none():
     assert not obs.enabled()
     assert _log().merged_profile() is None
+
+
+# ----------------------------------------------------------------------
+# Evaluation-service section
+# ----------------------------------------------------------------------
+
+
+def _service_snapshot():
+    registry = MetricsRegistry()
+    registry.add("serve.jobs_accepted", 4)
+    registry.add("serve.jobs_coalesced", 28)
+    registry.add("serve.jobs_rejected", 1)
+    registry.set("serve.queue_depth", 2)
+    registry.add("unrelated.counter", 9)
+    return registry.snapshot()
+
+
+def test_service_metrics_table_lists_serve_metrics_only():
+    from repro.explore.report import service_metrics_table
+
+    table = service_metrics_table(_service_snapshot())
+    assert table.startswith("evaluation service:")
+    assert "serve.jobs_accepted" in table and "4" in table
+    assert "serve.jobs_coalesced" in table and "28" in table
+    assert "serve.queue_depth" in table
+    assert "unrelated.counter" not in table
+
+
+def test_service_metrics_table_empty_without_serve_metrics():
+    from repro.explore.report import service_metrics_table
+
+    registry = MetricsRegistry()
+    registry.add("cache.hits", 3)
+    assert service_metrics_table(registry.snapshot()) == ""
+
+
+def test_report_appends_service_section_when_given_metrics():
+    report = exploration_report(_log(), metrics=_service_snapshot())
+    assert "evaluation service:" in report
+    assert "serve.jobs_rejected" in report
+
+
+def test_report_omits_service_section_without_serve_metrics():
+    registry = MetricsRegistry()
+    registry.add("cache.hits", 1)
+    report = exploration_report(_log(), metrics=registry.snapshot())
+    assert "evaluation service:" not in report

@@ -138,3 +138,90 @@ def test_report_mentions_counters():
     reg = MetricsRegistry()
     reg.add("sim.runs", 3)
     assert "sim.runs" in reg.report()
+
+
+# ----------------------------------------------------------------------
+# Thread safety (per-handle locks)
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_increments_are_exact():
+    import threading
+
+    reg = MetricsRegistry()
+    rounds, workers = 5_000, 8
+    barrier = threading.Barrier(workers)
+
+    def worker():
+        barrier.wait()
+        counter = reg.counter("hot")
+        for _ in range(rounds):
+            counter.inc()
+            reg.gauge("depth").add(1)
+            reg.observe("lat", 0.002)
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snap = reg.snapshot()
+    assert snap.counters["hot"] == rounds * workers
+    assert snap.gauges["depth"] == rounds * workers
+    assert snap.histograms["lat"].count == rounds * workers
+
+
+def test_snapshot_and_merge_race_writers_without_losing_updates():
+    import threading
+
+    reg = MetricsRegistry()
+    incoming = MetricsRegistry()
+    incoming.add("c", 10)
+    incoming.observe("h", 0.01)
+    foreign = incoming.snapshot()
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            reg.snapshot()
+
+    def merger():
+        for _ in range(200):
+            reg.merge(foreign)
+
+    def writer():
+        for _ in range(10_000):
+            reg.add("c")
+            reg.observe("h", 0.02)
+
+    threads = [threading.Thread(target=f)
+               for f in (reader, merger, merger, writer, writer)]
+    for thread in threads:
+        thread.start()
+    for thread in threads[1:]:
+        thread.join()
+    stop.set()
+    threads[0].join()
+    snap = reg.snapshot()
+    assert snap.counters["c"] == 2 * 10_000 + 2 * 200 * 10
+    assert snap.histograms["h"].count == 2 * 10_000 + 2 * 200
+
+
+def test_histogram_merge_data_rejects_mismatched_buckets():
+    from repro.obs.metrics import Histogram, HistogramData
+
+    hist = Histogram("h", buckets=(0.1, 1.0))
+    other = HistogramData((0.5, 2.0), [1, 0, 0], 0.2, 1)
+    with pytest.raises(ValueError):
+        hist.merge_data(other)
+
+
+def test_handles_do_not_share_a_lock():
+    reg = MetricsRegistry()
+    # per-handle locking is the documented memory model: a stalled
+    # observer of one metric must never block writers of another
+    a = reg.counter("a")
+    b = reg.counter("b")
+    with a._lock:
+        assert b._lock.acquire(timeout=0.5)
+        b._lock.release()

@@ -1,0 +1,186 @@
+"""The blocking client and the ``repro-serve`` console script."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    BackpressureError,
+    EvaluationService,
+    ServeClient,
+    ServeClientError,
+    ServiceConfig,
+    serve_in_thread,
+)
+from repro.serve.cli import main as cli_main
+
+from .conftest import instant_eval, payload, stub_evaluation
+
+
+@pytest.fixture(scope="module")
+def live():
+    """One shared server for the read-mostly client/CLI tests."""
+    service = EvaluationService(
+        ServiceConfig(workers=2, static_check=True, batch_size=1),
+        evaluate_fn=instant_eval,
+    )
+    server, _ = serve_in_thread(service)
+    yield server
+    server.shutdown_service(drain=False, timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# ServeClient
+# ----------------------------------------------------------------------
+
+
+def test_submit_and_wait_round_trip(live):
+    client = ServeClient(live.url)
+    record = client.submit_and_wait(payload(label="round-trip"))
+    assert record["state"] == "succeeded"
+    assert record["label"] == "round-trip"
+    assert record["result"]["feasible"] is True
+
+
+def test_rejected_submission_returns_the_record_not_an_exception(live):
+    client = ServeClient(live.url)
+    record = client.submit({"isdl": "processor oops {"})
+    assert record["state"] == "rejected"
+    assert record["diagnostics"][0]["code"] == "ISDL001"
+
+
+def test_client_surfaces_protocol_errors(live):
+    client = ServeClient(live.url)
+    with pytest.raises(ServeClientError) as info:
+        client.submit({"arch": "no-such-arch"})
+    assert info.value.status == 400
+    with pytest.raises(ServeClientError) as info:
+        client.job("deadbeef")
+    assert info.value.status == 404
+
+
+def test_client_health_and_metrics(live):
+    client = ServeClient(live.url)
+    health = client.health()
+    assert health["status"] == "ok"
+    assert "serve_jobs_accepted_total" in client.metrics_text()
+
+
+def test_unreachable_server_raises_transport_error():
+    client = ServeClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServeClientError):
+        client.health()
+
+
+def test_backpressure_retries_then_raises():
+    block = threading.Event()
+
+    def gated(job):
+        block.wait(30)
+        return stub_evaluation(job.label)
+
+    service = EvaluationService(
+        ServiceConfig(workers=1, max_queue_depth=1, coalesce=False,
+                      static_check=False, batch_size=1),
+        evaluate_fn=gated,
+    )
+    server, _ = serve_in_thread(service)
+    try:
+        client = ServeClient(server.url)
+        client.submit(payload())          # occupies the worker
+        time.sleep(0.1)
+        client.submit(payload())          # fills the queue
+        with pytest.raises(BackpressureError) as info:
+            client.submit(payload(), max_retries=2, backoff_s=0.01)
+        assert info.value.status == 429
+    finally:
+        block.set()
+        server.shutdown_service(drain=False, timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# repro-serve CLI (in-process against the live server)
+# ----------------------------------------------------------------------
+
+
+def test_cli_submit_waits_and_exits_zero(live, capsys):
+    code = cli_main([
+        "submit", "--url", live.url, "--arch", "spam2",
+        "--workload", "sum:8", "--label", "cli-job",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "succeeded" in out
+    assert "cli-job" in out
+
+
+def test_cli_submit_json_output_parses(live, capsys):
+    code = cli_main([
+        "submit", "--url", live.url, "--arch", "spam2", "--json",
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["state"] == "succeeded"
+
+
+def test_cli_submit_rejected_isdl_exits_two(live, capsys, tmp_path):
+    bad = tmp_path / "bad.isdl"
+    bad.write_text("processor oops {", encoding="utf-8")
+    code = cli_main(["submit", "--url", live.url, "--isdl", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "rejected" in out
+    assert "ISDL001" in out
+
+
+def test_cli_submit_ambiguous_example_prints_gate_findings(live, capsys):
+    code = cli_main([
+        "submit", "--url", live.url, "--isdl", "examples/ambiguous.isdl",
+    ])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "ISDL" in out  # the repro-lint diagnostic codes
+
+
+def test_cli_submit_unreadable_file_exits_one(live, capsys, tmp_path):
+    code = cli_main([
+        "submit", "--url", live.url, "--isdl",
+        str(tmp_path / "missing.isdl"),
+    ])
+    assert code == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_cli_submit_bad_weights_is_a_usage_error(live):
+    with pytest.raises(SystemExit):
+        cli_main(["submit", "--url", live.url, "--arch", "spam2",
+                  "--weights", "1,2"])
+
+
+def test_cli_status_prints_health_and_counters(live, capsys):
+    cli_main(["submit", "--url", live.url, "--arch", "spam2"])
+    capsys.readouterr()
+    code = cli_main(["status", "--url", live.url])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "status: ok" in out
+    assert "serve.jobs_accepted" in out
+
+
+def test_cli_status_for_one_job(live, capsys):
+    record = ServeClient(live.url).submit_and_wait(payload())
+    code = cli_main(["status", "--url", live.url, record["id"]])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert record["id"] in out
+    assert "succeeded" in out
+
+
+def test_cli_against_unreachable_server_exits_one(capsys):
+    code = cli_main([
+        "status", "--url", "http://127.0.0.1:9",
+    ])
+    assert code == 1
+    assert "cannot reach" in capsys.readouterr().err

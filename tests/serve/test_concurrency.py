@@ -1,0 +1,173 @@
+"""Many concurrent clients against one service: coalescing exactness,
+backpressure accounting, and drain under load."""
+
+import threading
+import time
+
+from repro.serve import JobState, QueueFullError
+
+from .conftest import payload, stub_evaluation
+
+
+def counters(service):
+    return service.metrics_snapshot().counters
+
+
+def test_duplicate_burst_coalesces_to_one_evaluation_per_key(
+        service_factory):
+    """32 submissions of 4 unique candidates, all while the workers are
+    gated: exactly 4 evaluations run, the other 28 ride along."""
+    release = threading.Event()
+
+    def gated(job):
+        release.wait(30)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=gated, workers=4,
+                              max_queue_depth=64)
+    unique = [payload(max_steps=10_000 + k) for k in range(4)]
+    jobs, lock = [], threading.Lock()
+
+    def client(thread_index):
+        for k in range(4):
+            job = service.submit(dict(unique[(thread_index + k) % 4]))
+            with lock:
+                jobs.append(job)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(jobs) == 32
+    release.set()
+    for job in jobs:
+        assert service.wait(job.id, timeout=15.0).state \
+            is JobState.SUCCEEDED
+    snap = counters(service)
+    assert snap["serve.evaluations_run"] == 4
+    assert snap["serve.jobs_accepted"] == 4
+    assert snap["serve.jobs_coalesced"] == 28
+    assert snap["serve.jobs_completed"] == 32
+
+
+def test_every_submission_is_accounted_for_under_backpressure(
+        service_factory):
+    """accepted + coalesced + throttled must equal the submission count
+    even with a tiny queue and racing clients."""
+    release = threading.Event()
+
+    def gated(job):
+        release.wait(30)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=gated, workers=1,
+                              max_queue_depth=2)
+    outcomes, lock = [], threading.Lock()
+
+    def client(thread_index):
+        for k in range(6):
+            try:
+                service.submit(
+                    payload(max_steps=1_000 + thread_index * 100 + k)
+                )
+                outcome = "in"
+            except QueueFullError:
+                outcome = "throttled"
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    release.set()
+    snap = counters(service)
+    admitted = snap.get("serve.jobs_accepted", 0) \
+        + snap.get("serve.jobs_coalesced", 0)
+    throttled = snap.get("serve.jobs_throttled", 0)
+    assert admitted + throttled == 24
+    assert admitted == outcomes.count("in")
+    assert throttled == outcomes.count("throttled")
+    assert throttled > 0  # the tiny queue must actually have pushed back
+    # every admitted job still reaches a terminal state
+    for job in service.jobs(limit=1000):
+        service.wait(job.id, timeout=15.0)
+
+
+def test_drain_under_load_loses_no_job(service_factory):
+    """Shutdown mid-burst: every admitted job ends terminal — finished
+    or cancelled, never stuck queued/running or silently dropped."""
+    def slowish(job):
+        time.sleep(0.05)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=slowish, workers=2,
+                              max_queue_depth=128, coalesce=False)
+    jobs, lock = [], threading.Lock()
+    stop = threading.Event()
+
+    def client(thread_index):
+        k = 0
+        while not stop.is_set() and k < 20:
+            try:
+                job = service.submit(
+                    payload(max_steps=1_000 + thread_index * 100 + k)
+                )
+            except Exception:  # draining/backpressure both fine here
+                return
+            with lock:
+                jobs.append(job)
+            k += 1
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.15)  # let a mid-size backlog build
+    stop.set()
+    service.shutdown(drain=True, timeout=30.0)
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert jobs
+    states = {}
+    for job in jobs:
+        assert job.done, f"job {job.label} left {job.state.value}"
+        states[job.state.value] = states.get(job.state.value, 0) + 1
+    assert set(states) <= {"succeeded", "cancelled"}
+    snap = counters(service)
+    assert snap["serve.jobs_completed"] \
+        + snap.get("serve.jobs_cancelled", 0) == len(jobs)
+
+
+def test_concurrent_status_reads_while_working(service_factory):
+    """health()/metrics_snapshot()/jobs() stay consistent while the pool
+    and submitters are busy (no deadlocks, no exceptions)."""
+    service = service_factory(workers=2)
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        try:
+            while not stop.is_set():
+                service.health()
+                service.metrics_snapshot()
+                service.jobs()
+        except Exception as exc:  # noqa: BLE001 — recorded for the assert
+            errors.append(exc)
+
+    readers = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in readers:
+        thread.start()
+    jobs = [service.submit(payload(max_steps=1_000 + k))
+            for k in range(20)]
+    for job in jobs:
+        service.wait(job.id, timeout=15.0)
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=5.0)
+    assert not errors
+    assert service.health()["jobs"] == {"succeeded": 20}

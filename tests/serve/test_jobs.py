@@ -1,0 +1,155 @@
+"""The bounded priority queue and job records."""
+
+import time
+
+import pytest
+
+from repro.explore.metrics import CostWeights
+from repro.serve.jobs import (
+    Job,
+    JobQueue,
+    JobState,
+    QueueFullError,
+    ServiceUnavailableError,
+    new_job_id,
+)
+
+WEIGHTS = CostWeights(1.0, 0.35, 0.25)
+
+
+def make_job(label="j", priority=0, workloads=("sum",), backend="xsim",
+             max_steps=1000):
+    return Job(
+        id=new_job_id(), desc=None, label=label, workloads=workloads,
+        kernels=(), weights=WEIGHTS, backend=backend, max_steps=max_steps,
+        priority=priority,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ordering
+# ----------------------------------------------------------------------
+
+
+def test_higher_priority_pops_first():
+    queue = JobQueue()
+    queue.push(make_job("low", priority=0))
+    queue.push(make_job("urgent", priority=5))
+    queue.push(make_job("mid", priority=1))
+    order = [queue.pop_batch(1)[0].label for _ in range(3)]
+    assert order == ["urgent", "mid", "low"]
+
+
+def test_fifo_within_a_priority_level():
+    queue = JobQueue()
+    for label in ("a", "b", "c"):
+        queue.push(make_job(label, priority=3))
+    order = [queue.pop_batch(1)[0].label for _ in range(3)]
+    assert order == ["a", "b", "c"]
+
+
+def test_not_before_hides_an_entry_until_its_time():
+    queue = JobQueue()
+    queue.push(make_job("delayed"),
+               not_before=time.monotonic() + 0.15)
+    queue.push(make_job("ready"))
+    assert queue.pop_batch(1)[0].label == "ready"
+    # the delayed entry is invisible right now...
+    assert queue.pop_batch(1, timeout=0.01) is None
+    # ...and becomes ready once its backoff elapses
+    batch = queue.pop_batch(1, timeout=1.0)
+    assert batch[0].label == "delayed"
+
+
+# ----------------------------------------------------------------------
+# Depth bound
+# ----------------------------------------------------------------------
+
+
+def test_depth_bound_raises_queue_full():
+    queue = JobQueue(max_depth=2)
+    queue.push(make_job("a"))
+    queue.push(make_job("b"))
+    with pytest.raises(QueueFullError):
+        queue.push(make_job("c"))
+    assert len(queue) == 2
+
+
+def test_requeue_bypasses_the_bound():
+    queue = JobQueue(max_depth=1)
+    queue.push(make_job("a"))
+    # a retry of an already-accepted job must never be dropped
+    queue.push(make_job("retry"), enforce_bound=False)
+    assert len(queue) == 2
+
+
+def test_depth_bound_must_be_positive():
+    with pytest.raises(ValueError):
+        JobQueue(max_depth=0)
+
+
+# ----------------------------------------------------------------------
+# Config-batched pops
+# ----------------------------------------------------------------------
+
+
+def test_pop_batch_groups_matching_configurations():
+    queue = JobQueue()
+    queue.push(make_job("a1", workloads=("sum",)))
+    queue.push(make_job("b", workloads=("dot",)))
+    queue.push(make_job("a2", workloads=("sum",)))
+    batch = queue.pop_batch(4)
+    assert [job.label for job in batch] == ["a1", "a2"]
+    # the differently-configured job stayed queued, in order
+    assert queue.pop_batch(4)[0].label == "b"
+
+
+def test_pop_batch_respects_batch_size():
+    queue = JobQueue()
+    for i in range(5):
+        queue.push(make_job(f"j{i}"))
+    assert len(queue.pop_batch(3)) == 3
+    assert len(queue) == 2
+
+
+# ----------------------------------------------------------------------
+# Drain / stop
+# ----------------------------------------------------------------------
+
+
+def test_drain_returns_queued_jobs_and_stops_the_queue():
+    queue = JobQueue()
+    queue.push(make_job("a"))
+    queue.push(make_job("b"), not_before=time.monotonic() + 60.0)
+    drained = queue.drain()
+    assert {job.label for job in drained} == {"a", "b"}
+    assert queue.stopped
+    assert len(queue) == 0
+    with pytest.raises(ServiceUnavailableError):
+        queue.push(make_job("c"))
+    assert queue.pop_batch(1) is None
+
+
+# ----------------------------------------------------------------------
+# Job records
+# ----------------------------------------------------------------------
+
+
+def test_job_state_terminality():
+    assert not JobState.QUEUED.terminal
+    assert not JobState.RUNNING.terminal
+    for state in (JobState.SUCCEEDED, JobState.FAILED,
+                  JobState.REJECTED, JobState.CANCELLED):
+        assert state.terminal
+
+
+def test_job_ids_are_unique():
+    assert len({new_job_id() for _ in range(100)}) == 100
+
+
+def test_config_key_ignores_priority_and_timeout():
+    a = make_job("a", priority=0)
+    b = make_job("b", priority=9)
+    b.timeout_s = 1.0
+    assert a.config_key == b.config_key
+    assert a.config_key != make_job("c", backend="block").config_key

@@ -1,0 +1,435 @@
+"""The evaluation service: lifecycle, gate, coalescing, timeouts, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    BadRequestError,
+    EvaluationService,
+    JobState,
+    QueueFullError,
+    ServiceConfig,
+    ServiceUnavailableError,
+    UnknownJobError,
+)
+from repro.serve.service import CODE_PARSE_ERROR
+
+from .conftest import instant_eval, payload, stub_evaluation
+
+
+def counter(service, name):
+    return service.metrics_snapshot().counters.get(name, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_submit_wait_succeed(service_factory):
+    service = service_factory()
+    job = service.submit(payload())
+    done = service.wait(job.id, timeout=10.0)
+    assert done.state is JobState.SUCCEEDED
+    assert done.evaluation is not None and done.evaluation.feasible
+    assert done.attempts == 1
+    assert counter(service, "serve.jobs_accepted") == 1
+    assert counter(service, "serve.evaluations_run") == 1
+    assert counter(service, "serve.jobs_completed") == 1
+
+
+def test_job_record_round_trips_to_dict(service_factory):
+    service = service_factory()
+    job = service.submit(payload(label="mine", priority=2))
+    record = service.wait(job.id, timeout=10.0).to_dict()
+    assert record["state"] == "succeeded"
+    assert record["label"] == "mine"
+    assert record["priority"] == 2
+    assert record["result"]["feasible"] is True
+    assert record["result"]["cycles"] == 100
+
+
+def test_wait_times_out_on_a_stuck_job(service_factory):
+    block = threading.Event()
+    service = service_factory(evaluate_fn=lambda job: block.wait(30))
+    job = service.submit(payload())
+    with pytest.raises(TimeoutError):
+        service.wait(job.id, timeout=0.05)
+    block.set()
+
+
+def test_unknown_job_id(service_factory):
+    service = service_factory()
+    with pytest.raises(UnknownJobError):
+        service.job("deadbeef")
+
+
+def test_context_manager_starts_and_drains():
+    with EvaluationService(
+        ServiceConfig(workers=1, static_check=False),
+        evaluate_fn=instant_eval,
+    ) as service:
+        job = service.submit(payload())
+        service.wait(job.id, timeout=10.0)
+    assert service.draining
+    with pytest.raises(ServiceUnavailableError):
+        service.submit(payload())
+
+
+# ----------------------------------------------------------------------
+# Payload validation (HTTP 400 material)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", [
+    {"arch": "spam2", "isdl": "processor"},  # both targets
+    {},                                      # neither target
+    {"arch": "no-such-arch"},
+    {"arch": "spam2", "backend": "verilog"},
+    {"arch": "spam2", "workloads": ["no-such-kernel"]},
+    {"arch": "spam2", "workloads": ["sum:0"]},
+    {"arch": "spam2", "weights": [1, 2, 3]},
+    {"arch": "spam2", "weights": {"runtime": "heavy"}},
+    {"arch": "spam2", "timeout_s": -1},
+    {"arch": "spam2", "max_steps": 0},
+])
+def test_uninterpretable_payloads_raise_bad_request(service_factory, bad):
+    service = service_factory()
+    with pytest.raises(BadRequestError):
+        service.submit(bad)
+    assert counter(service, "serve.jobs_accepted") == 0
+
+
+# ----------------------------------------------------------------------
+# Admission gate
+# ----------------------------------------------------------------------
+
+
+def test_unparseable_isdl_is_rejected_with_isdl001(service_factory):
+    service = service_factory(static_check=True)
+    job = service.submit({"isdl": "processor oops {"})
+    assert job.state is JobState.REJECTED
+    assert job.diagnostics[0].code == CODE_PARSE_ERROR
+    assert "admission gate" in job.error
+    assert counter(service, "serve.jobs_rejected") == 1
+    assert counter(service, "serve.jobs_accepted") == 0
+
+
+def test_gate_rejects_invalid_description_with_diagnostics(service_factory):
+    with open("examples/ambiguous.isdl", "r", encoding="utf-8") as handle:
+        source = handle.read()
+    service = service_factory(static_check=True)
+    job = service.submit({"isdl": source})
+    assert job.state is JobState.REJECTED
+    assert job.diagnostics  # the full repro-lint list rides on the record
+    assert any(d.code.startswith("ISDL") for d in job.diagnostics)
+    assert counter(service, "serve.evaluations_run") == 0
+
+
+def test_gate_can_be_disabled(service_factory):
+    with open("examples/ambiguous.isdl", "r", encoding="utf-8") as handle:
+        source = handle.read()
+    service = service_factory(static_check=False)
+    job = service.submit({"isdl": source})
+    assert job.state is not JobState.REJECTED
+    service.wait(job.id, timeout=10.0)
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+
+
+def test_duplicate_inflight_submission_coalesces(service_factory):
+    release = threading.Event()
+
+    def gated(job):
+        release.wait(10)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=gated, workers=1)
+    leader = service.submit(payload())
+    twin = service.submit(payload())
+    assert twin.coalesced_with == leader.id
+    release.set()
+    for job in (leader, twin):
+        assert service.wait(job.id, timeout=10.0).state \
+            is JobState.SUCCEEDED
+    assert twin.evaluation is leader.evaluation
+    assert counter(service, "serve.evaluations_run") == 1
+    assert counter(service, "serve.jobs_coalesced") == 1
+    assert counter(service, "serve.jobs_completed") == 2
+
+
+def test_different_configurations_do_not_coalesce(service_factory):
+    release = threading.Event()
+
+    def gated(job):
+        release.wait(10)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=gated, workers=2)
+    a = service.submit(payload(max_steps=1000))
+    b = service.submit(payload(max_steps=2000))
+    assert b.coalesced_with is None
+    release.set()
+    service.wait(a.id, timeout=10.0)
+    service.wait(b.id, timeout=10.0)
+    assert counter(service, "serve.evaluations_run") == 2
+
+
+def test_coalescing_can_be_disabled(service_factory):
+    release = threading.Event()
+
+    def gated(job):
+        release.wait(10)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=gated, workers=2,
+                              coalesce=False)
+    a = service.submit(payload())
+    b = service.submit(payload())
+    assert b.coalesced_with is None
+    release.set()
+    service.wait(a.id, timeout=10.0)
+    service.wait(b.id, timeout=10.0)
+    assert counter(service, "serve.evaluations_run") == 2
+
+
+def test_followers_of_a_failed_leader_fail_too(service_factory):
+    release = threading.Event()
+
+    def doomed(job):
+        release.wait(10)
+        raise RuntimeError("synthesis exploded")
+
+    service = service_factory(evaluate_fn=doomed, workers=1)
+    leader = service.submit(payload())
+    twin = service.submit(payload())
+    release.set()
+    assert service.wait(leader.id, timeout=10.0).state is JobState.FAILED
+    assert service.wait(twin.id, timeout=10.0).state is JobState.FAILED
+    assert "synthesis exploded" in twin.error
+    assert counter(service, "serve.jobs_failed") == 2
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+
+
+def test_full_queue_throttles_submissions(service_factory):
+    block = threading.Event()
+
+    def gated(job):
+        block.wait(30)
+        return stub_evaluation(job.label)
+
+    service = service_factory(
+        evaluate_fn=gated, workers=1, max_queue_depth=2, coalesce=False,
+    )
+    jobs = [service.submit(payload())]  # occupies the worker
+    time.sleep(0.1)  # let the worker pop it off the queue
+    jobs.append(service.submit(payload()))
+    jobs.append(service.submit(payload()))
+    with pytest.raises(QueueFullError):
+        service.submit(payload())
+    assert counter(service, "serve.jobs_throttled") == 1
+    block.set()
+    for job in jobs:
+        assert service.wait(job.id, timeout=10.0).state \
+            is JobState.SUCCEEDED
+
+
+# ----------------------------------------------------------------------
+# Timeouts and retries
+# ----------------------------------------------------------------------
+
+
+def test_slow_first_attempt_retries_then_succeeds(service_factory):
+    attempts = []
+
+    def flaky(job):
+        attempts.append(time.monotonic())
+        if len(attempts) == 1:
+            time.sleep(5.0)  # blows the deadline; thread is abandoned
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=flaky, workers=1)
+    job = service.submit(payload(timeout_s=0.2))
+    done = service.wait(job.id, timeout=15.0)
+    assert done.state is JobState.SUCCEEDED
+    assert done.attempts == 2
+    assert counter(service, "serve.jobs_retried") == 1
+    assert counter(service, "serve.jobs_timeout") == 0
+
+
+def test_persistent_timeout_exhausts_attempts_and_fails(service_factory):
+    service = service_factory(
+        evaluate_fn=lambda job: time.sleep(30),
+        workers=1, max_attempts=2,
+    )
+    job = service.submit(payload(timeout_s=0.1))
+    done = service.wait(job.id, timeout=15.0)
+    assert done.state is JobState.FAILED
+    assert "timed out" in done.error
+    assert done.attempts == 2
+    assert counter(service, "serve.jobs_retried") == 1
+    assert counter(service, "serve.jobs_timeout") == 1
+
+
+def test_timed_out_jobs_batchmates_are_requeued_unharmed(service_factory):
+    order = []
+
+    def recording(job):
+        order.append(job.label)
+        if job.label == "stuck" and order.count("stuck") == 1:
+            time.sleep(5.0)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=recording, workers=1,
+                              batch_size=4, coalesce=False,
+                              max_attempts=2)
+    stuck = service.submit(payload(label="stuck", timeout_s=0.2))
+    mate = service.submit(payload(label="mate", timeout_s=5.0))
+    assert service.wait(mate.id, timeout=15.0).state is JobState.SUCCEEDED
+    assert service.wait(stuck.id, timeout=15.0).state \
+        is JobState.SUCCEEDED
+    assert mate.attempts == 1  # never charged for its neighbour's stall
+
+
+# ----------------------------------------------------------------------
+# Worker crash resilience
+# ----------------------------------------------------------------------
+
+
+def test_raising_evaluation_fails_job_but_pool_survives(service_factory):
+    def sometimes(job):
+        if job.label == "boom":
+            raise ValueError("cannot synthesize")
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=sometimes, workers=1)
+    bad = service.submit(payload(label="boom"))
+    assert service.wait(bad.id, timeout=10.0).state is JobState.FAILED
+    assert "cannot synthesize" in bad.error
+    good = service.submit(payload(label="fine", max_steps=777))
+    assert service.wait(good.id, timeout=10.0).state is JobState.SUCCEEDED
+
+
+def test_infeasible_evaluation_is_a_successful_measurement(
+        service_factory):
+    from repro.explore.metrics import Evaluation
+
+    service = service_factory(
+        evaluate_fn=lambda job: Evaluation(
+            name=job.label, feasible=False, reason="does not fit",
+        ),
+    )
+    job = service.submit(payload())
+    done = service.wait(job.id, timeout=10.0)
+    assert done.state is JobState.SUCCEEDED  # a negative result, not a bug
+    record = done.to_dict()
+    assert record["result"] == {
+        "feasible": False, "reason": "does not fit", "cost": None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Priorities and drain
+# ----------------------------------------------------------------------
+
+
+def test_priority_jumps_the_queue(service_factory):
+    release = threading.Event()
+    order = []
+
+    def recording(job):
+        if job.label == "gate":
+            release.wait(10)
+        order.append(job.label)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=recording, workers=1,
+                              coalesce=False)
+    service.submit(payload(label="gate"))
+    time.sleep(0.1)  # the gate job must be off the queue first
+    low = service.submit(payload(label="low", priority=0))
+    high = service.submit(payload(label="high", priority=5))
+    release.set()
+    service.wait(low.id, timeout=10.0)
+    service.wait(high.id, timeout=10.0)
+    assert order == ["gate", "high", "low"]
+
+
+def test_drain_finishes_inflight_and_cancels_queued(service_factory):
+    release = threading.Event()
+
+    def gated(job):
+        release.wait(10)
+        return stub_evaluation(job.label)
+
+    service = service_factory(evaluate_fn=gated, workers=1,
+                              coalesce=False)
+    running = service.submit(payload(label="running"))
+    time.sleep(0.1)
+    queued = [service.submit(payload(label=f"q{i}")) for i in range(3)]
+    release.set()
+    service.shutdown(drain=True, timeout=10.0)
+    assert running.state is JobState.SUCCEEDED
+    assert all(job.state is JobState.CANCELLED for job in queued)
+    assert all("shut down" in job.error for job in queued)
+    assert counter(service, "serve.jobs_cancelled") == 3
+    assert service.health()["status"] == "draining"
+
+
+# ----------------------------------------------------------------------
+# Introspection
+# ----------------------------------------------------------------------
+
+
+def test_health_summarizes_jobs_and_counters(service_factory):
+    service = service_factory(static_check=True)
+    done = service.submit(payload())
+    service.wait(done.id, timeout=10.0)
+    service.submit({"isdl": "processor oops {"})
+    health = service.health()
+    assert health["status"] == "ok"
+    assert health["workers"] == 2
+    assert health["jobs"] == {"succeeded": 1, "rejected": 1}
+    assert health["counters"]["serve.jobs_accepted"] == 1
+    assert health["counters"]["serve.jobs_rejected"] == 1
+
+
+def test_jobs_listing_preserves_submission_order(service_factory):
+    service = service_factory()
+    ids = [service.submit(payload(label=f"j{i}", max_steps=1000 + i)).id
+           for i in range(3)]
+    assert [job.id for job in service.jobs()] == ids
+
+
+# ----------------------------------------------------------------------
+# The real tool chain (no evaluate_fn seam)
+# ----------------------------------------------------------------------
+
+
+def test_real_evaluation_and_cache_dedupe_across_time():
+    config = ServiceConfig(workers=1, static_check=False)
+    with EvaluationService(config) as service:
+        first = service.submit(payload(workloads=["sum:8"]))
+        done = service.wait(first.id, timeout=120.0)
+        assert done.state is JobState.SUCCEEDED
+        assert done.evaluation.feasible
+        assert done.evaluation.cycles > 0
+        assert not done.cached
+        # the same candidate after completion: served from the cache,
+        # no second toolchain run (dedupe across time, not in flight)
+        second = service.submit(payload(workloads=["sum:8"]))
+        again = service.wait(second.id, timeout=120.0)
+        assert again.state is JobState.SUCCEEDED
+        assert again.cached
+        assert again.evaluation.cycles == done.evaluation.cycles
+        snapshot = service.metrics_snapshot()
+        assert snapshot.counters["serve.evaluations_run"] == 1

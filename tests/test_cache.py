@@ -202,3 +202,108 @@ def test_cached_evaluation_results_are_bit_true():
     assert cold.cycle_ns == plain.cycle_ns
     assert cold.die_size == plain.die_size
     assert cold.power_mw == plain.power_mw
+
+
+# ----------------------------------------------------------------------
+# Disk-layer hardening (atomic writes, corrupt-entry accounting)
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_disk_entry_is_counted_and_rebuilt(tmp_path):
+    disk = str(tmp_path / "artifacts")
+    seeded = ArtifactCache(disk_path=disk)
+    seeded.get_or_build("evaluation", "key", lambda: "good")
+    path = seeded._disk_file("evaluation", "key")
+    with open(path, "wb") as handle:
+        handle.write(b"\x80\x04 definitely not a pickle")
+    cache = ArtifactCache(disk_path=disk)
+    assert cache.get_or_build("evaluation", "key", lambda: "rebuilt") \
+        == "rebuilt"
+    assert cache.stats.disk_errors == 1
+    assert cache.stats.misses == 1  # corrupt counts as a miss, not a hit
+    assert "1 corrupt disk entry" in cache.stats.report()
+    # the bad file was replaced: a fresh cache loads the rebuilt value
+    fresh = ArtifactCache(disk_path=disk)
+    assert fresh.get_or_build("evaluation", "key", lambda: "wrong") \
+        == "rebuilt"
+    assert fresh.stats.disk_errors == 0
+
+
+def test_truncated_disk_entry_is_a_counted_miss(tmp_path):
+    import pickle
+
+    disk = str(tmp_path / "artifacts")
+    seeded = ArtifactCache(disk_path=disk)
+    seeded.get_or_build("evaluation", "key", lambda: list(range(1000)))
+    path = seeded._disk_file("evaluation", "key")
+    blob = pickle.dumps(list(range(1000)))
+    with open(path, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])  # a killed writer's leavings
+    cache = ArtifactCache(disk_path=disk)
+    assert cache.get_or_build("evaluation", "key", lambda: "rebuilt") \
+        == "rebuilt"
+    assert cache.stats.disk_errors == 1
+
+
+def test_missing_disk_entry_is_a_plain_miss_not_an_error(tmp_path):
+    cache = ArtifactCache(disk_path=str(tmp_path / "artifacts"))
+    cache.get_or_build("evaluation", "key", lambda: 1)
+    assert cache.stats.disk_errors == 0
+
+
+def test_corrupt_disk_entry_increments_obs_counter(tmp_path):
+    from repro import obs
+
+    disk = str(tmp_path / "artifacts")
+    seeded = ArtifactCache(disk_path=disk)
+    seeded.get_or_build("evaluation", "key", lambda: 1)
+    with open(seeded._disk_file("evaluation", "key"), "wb") as handle:
+        handle.write(b"junk")
+    obs.enable()
+    try:
+        ArtifactCache(disk_path=disk).get_or_build(
+            "evaluation", "key", lambda: 2
+        )
+        snap = obs.registry().snapshot()
+    finally:
+        obs.disable(reset=True)
+    assert snap.counters.get("cache.disk_corrupt") == 1
+
+
+def test_disk_saves_leave_no_temp_files(tmp_path):
+    import os
+
+    disk = str(tmp_path / "artifacts")
+    cache = ArtifactCache(disk_path=disk)
+    for i in range(10):
+        cache.get_or_build("evaluation", f"key-{i}", lambda: b"x" * 1000)
+    leftovers = [name for name in os.listdir(disk) if ".tmp." in name]
+    assert leftovers == []
+
+
+def test_concurrent_disk_writers_never_corrupt_an_entry(tmp_path):
+    import threading
+
+    disk = str(tmp_path / "artifacts")
+    value = {"payload": list(range(500))}
+    caches = [ArtifactCache(disk_path=disk) for _ in range(8)]
+    start = threading.Barrier(8)
+
+    def writer(cache):
+        start.wait()
+        for _ in range(10):
+            cache.get_or_build("evaluation", "shared",
+                               lambda: dict(value))
+            cache.clear()  # force the disk path on the next lookup
+
+    threads = [threading.Thread(target=writer, args=(c,)) for c in caches]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # whatever the interleaving, the landed file is a whole pickle
+    fresh = ArtifactCache(disk_path=disk)
+    assert fresh.get_or_build("evaluation", "shared", lambda: None) \
+        == value
+    assert fresh.stats.disk_errors == 0
+    assert all(c.stats.disk_errors == 0 for c in caches)
