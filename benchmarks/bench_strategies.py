@@ -1,0 +1,121 @@
+"""Search-strategy comparison under a fixed evaluation budget.
+
+Every registered strategy explores the same design point (SPAM2 under
+the integer workloads) with the same round and measurement budget;
+measured: the best scalar cost each finds, the size of the non-dominated
+cost/cycle-time/power/area frontier each uncovers, and the wall-clock
+per run — greedy (the paper's Figure-1 loop) is the baseline.  The
+acceptance bar from the strategy-API redesign is asserted here and
+recorded in ``BENCH_strategies.json``: the Pareto search's frontier must
+contain a point no worse in cost than greedy's best, and must uncover a
+strictly larger frontier.
+"""
+
+import time
+
+from conftest import record, record_json
+
+from repro.arch import description_for
+from repro.codegen import Cond, KernelBuilder, Opcode
+from repro.explore import CostWeights, Explorer, strategies
+from repro.explore.pareto import objectives
+
+ARCH = "spam2"
+MAX_ITERATIONS = 4
+MAX_EVALUATIONS = 64
+SEED = 0
+WEIGHTS = CostWeights(1.0, 0.5, 0.3)
+TABLE = "Exploration strategies — same budget, same design point"
+
+
+def _kernels():
+    K = KernelBuilder("sum")
+    cnt = K.li(10)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return [K.build()]
+
+
+def test_strategy_shootout():
+    kernels = _kernels()
+    results = {}
+    for name in strategies.available():
+        explorer = Explorer(kernels, WEIGHTS, parallel="serial")
+        start = time.perf_counter()
+        log = explorer.explore(
+            description_for(ARCH),
+            max_iterations=MAX_ITERATIONS,
+            strategy=name,
+            seed=SEED,
+            max_evaluations=MAX_EVALUATIONS,
+        )
+        seconds = time.perf_counter() - start
+        frontier = log.frontier()
+        results[name] = {
+            "best_cost": log.best.cost(WEIGHTS),
+            "best_derived_by": log.best.derived_by,
+            "improvement": log.improvement,
+            "iterations": log.iterations,
+            "evaluations": log.evaluations,
+            "cache_hits": log.cache_hits,
+            "trajectories": len(log.trajectories),
+            "frontier_size": len(frontier),
+            "frontier": [
+                {
+                    "derived_by": candidate.derived_by,
+                    "objectives": list(
+                        objectives(candidate.evaluation, WEIGHTS)
+                    ),
+                }
+                for candidate in frontier
+            ],
+            "seconds": seconds,
+        }
+
+    greedy = results["greedy"]
+    for name, row in results.items():
+        versus = row["best_cost"] / greedy["best_cost"]
+        record(
+            TABLE,
+            f"- `{name}`: best cost **{row['best_cost']:,.1f}**"
+            f" ({versus:.3f}x of greedy),"
+            f" frontier {row['frontier_size']} point(s),"
+            f" {row['evaluations']} evaluation(s)"
+            f" over {row['iterations']} round(s)"
+            f" in {row['seconds']:.1f} s",
+        )
+
+    # The redesign's acceptance bar, measured where CI can diff it:
+    pareto = results["pareto"]
+    assert pareto["best_cost"] <= greedy["best_cost"], (
+        "the Pareto frontier must contain a point no worse in cost"
+        " than greedy's best under the same budget"
+    )
+    assert pareto["frontier_size"] > greedy["frontier_size"], (
+        "the multi-objective search must uncover a larger"
+        " non-dominated frontier than the single-trajectory baseline"
+    )
+    for name, row in results.items():
+        assert row["improvement"] >= 1.0, f"{name} made things worse"
+        assert row["evaluations"] <= MAX_EVALUATIONS
+
+    record_json("strategies", {
+        "config": {
+            "arch": ARCH,
+            "max_iterations": MAX_ITERATIONS,
+            "max_evaluations": MAX_EVALUATIONS,
+            "seed": SEED,
+            "weights": {"runtime": WEIGHTS.runtime,
+                        "area": WEIGHTS.area,
+                        "power": WEIGHTS.power},
+            "kernels": [k.name for k in _kernels()],
+        },
+        "baseline": "greedy",
+        "strategies": results,
+        "pareto_vs_greedy_cost": pareto["best_cost"] / greedy["best_cost"],
+        "pareto_frontier_size": pareto["frontier_size"],
+    })

@@ -1,31 +1,34 @@
-"""Architecture exploration by iterative improvement (paper Fig. 1).
+"""Architecture exploration over pluggable search strategies.
 
-Starting from an initial description, each iteration:
+The paper's Figure-1 loop is greedy single-trajectory iterative
+improvement: evaluate the incumbent, propose measurement-guided
+candidate improvements, adopt the cheapest feasible one, stop at
+convergence.  That loop is now one :class:`~repro.explore.strategies.Strategy`
+(``"greedy"``, the default — byte-identical trajectories to the original
+engine) among several: multi-start random restarts, beam/(μ+λ)
+population search, and a Pareto-frontier mode that returns the whole
+non-dominated cost/cycle-time/power/area trade-off curve instead of a
+single winner.
 
-1. evaluates the current architecture (compile → simulate → synthesize →
-   cost, see :mod:`repro.explore.metrics`);
-2. proposes candidate improvements *guided by the measurements* — drop
-   operations the workloads never execute, drop functional units with low
-   utilization, add bypass timing to operations that cause stalls, and
-   serialize field pairs so HGEN can share their hardware;
-3. adopts the cheapest feasible candidate, and stops when no candidate
-   improves on the incumbent.
+:class:`Explorer` is the driver.  Per round it asks the strategy for a
+batch of :class:`~repro.explore.parallel.EvalRequest`\\ s, measures them
+through the :class:`~repro.explore.parallel.ParallelEvaluator` (worker
+pools, the shared :class:`~repro.cache.ArtifactCache`, the static
+validity gate, and :mod:`repro.obs` profiling all apply unchanged,
+whatever the strategy), does the log bookkeeping, and feeds the feasible
+survivors back to the strategy.  Results stay deterministic — identical
+trajectories and frontiers whatever the pool mode.
 
 Every candidate is a complete ISDL description, so the whole tool chain
-(compiler, assembler, ILS, HGEN) regenerates automatically each iteration —
-the property the paper argues makes exploration practical at all.
-
-Candidate measurements are independent, so the explorer batches each
-round's proposals through a :class:`~repro.explore.parallel.ParallelEvaluator`:
-they fan out over a worker pool, generated artifacts are memoized in a
-shared :class:`~repro.cache.ArtifactCache`, and a candidate whose
-evaluation blows up is recorded in :attr:`ExplorationLog.errors` instead
-of killing the sweep.  Results are deterministic — identical trajectories
-and cycle counts whatever the pool mode.
+(compiler, assembler, ILS, HGEN) regenerates automatically for each
+measurement — the property the paper argues makes exploration practical
+at all.
 """
 
 from __future__ import annotations
 
+import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -53,24 +56,141 @@ class Candidate:
 
 
 @dataclass
+class Trajectory:
+    """One improvement lineage inside an exploration run.
+
+    The greedy strategy produces exactly one; multi-start produces one
+    per restart, population/Pareto searches one for their best-incumbent
+    chain.  Per-trajectory profile and cache accounting lives here so a
+    label measured in two trajectories is attributed to both (the global
+    :attr:`ExplorationLog.profiles` dict is first-wins across the whole
+    run and cannot tell them apart).
+    """
+
+    label: str
+    accepted: List[Candidate] = field(default_factory=list)
+    #: per-candidate observability profile, first measurement per label
+    #: *within this trajectory*; empty unless :mod:`repro.obs` was on
+    profiles: Dict[str, MetricsSnapshot] = field(default_factory=dict)
+    #: warm-cache hits / real measurements attributed to this trajectory
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def best(self) -> Candidate:
+        return self.accepted[-1]
+
+    @property
+    def initial(self) -> Candidate:
+        return self.accepted[0]
+
+    def improvement(self, weights: Optional[CostWeights] = None) -> float:
+        """Cost ratio initial/best along this trajectory."""
+        initial = self.initial.cost(weights)
+        best = self.best.cost(weights)
+        if best == 0:
+            return float("inf")
+        return initial / best
+
+    def merged_profile(self) -> Optional[MetricsSnapshot]:
+        """This trajectory's profiles folded into one snapshot."""
+        if not self.profiles:
+            return None
+        return MetricsSnapshot.merged(self.profiles.values())
+
+
+@dataclass
 class ExplorationLog:
-    """The trajectory of one exploration run."""
+    """The record of one exploration run.
+
+    :attr:`accepted` remains the winning trajectory's candidate chain
+    (what greedy always produced), so ``best``/``initial``/
+    ``improvement`` read the same regardless of strategy;
+    :attr:`trajectories` holds every lineage a multi-trajectory strategy
+    followed, and :meth:`frontier` extracts the non-dominated subset of
+    everything measured.
+    """
 
     weights: CostWeights
     accepted: List[Candidate] = field(default_factory=list)
     rejected: List[Candidate] = field(default_factory=list)
     errors: List[EvalResult] = field(default_factory=list)
     iterations: int = 0
-    #: per-candidate observability profile (label → first measurement);
-    #: empty unless :mod:`repro.obs` was enabled during the run
+    #: per-candidate observability profile (label → first measurement
+    #: anywhere in the run); empty unless :mod:`repro.obs` was enabled
     profiles: Dict[str, MetricsSnapshot] = field(default_factory=dict)
+    #: registry name of the strategy that drove the run
+    strategy: str = "greedy"
+    #: every improvement lineage, in creation order
+    trajectories: List[Trajectory] = field(default_factory=list)
+    #: every feasible measured candidate, in evaluation order
+    evaluated: List[Candidate] = field(default_factory=list)
+    #: total measurements dispatched / answered from the warm cache
+    evaluations: int = 0
+    cache_hits: int = 0
 
-    def merged_profile(self) -> Optional[MetricsSnapshot]:
-        """All per-candidate profiles folded into one snapshot (insertion
-        order, so the merge is deterministic); None when obs was off."""
-        if not self.profiles:
+    def trajectory(self, label: str) -> Trajectory:
+        """The trajectory named *label*, created on first use."""
+        for trajectory in self.trajectories:
+            if trajectory.label == label:
+                return trajectory
+        trajectory = Trajectory(label)
+        self.trajectories.append(trajectory)
+        return trajectory
+
+    def frontier(self, weights: Optional[CostWeights] = None
+                 ) -> List[Candidate]:
+        """The mutually non-dominated subset of every feasible candidate
+        measured this run (cost/cycle-time/power/area axes, all
+        minimized; deterministic order — see :mod:`repro.explore.pareto`)."""
+        from . import pareto
+
+        weights = weights or self.weights
+        return pareto.frontier(
+            list(self.evaluated),
+            key=lambda c: pareto.objectives(c.evaluation, weights),
+        )
+
+    @property
+    def profile_count(self) -> int:
+        """Distinct candidate measurements with a recorded profile,
+        counted once per (trajectory, label) plus unclaimed globals."""
+        claimed = set()
+        count = 0
+        for trajectory in self.trajectories:
+            count += len(trajectory.profiles)
+            claimed.update(trajectory.profiles)
+        count += sum(1 for label in self.profiles if label not in claimed)
+        return count
+
+    def merged_profile(self, trajectory: Optional[str] = None
+                       ) -> Optional[MetricsSnapshot]:
+        """Per-candidate profiles folded into one snapshot; None when
+        obs was off.
+
+        With *trajectory* (a :attr:`Trajectory.label`) only that
+        lineage's measurements merge.  Without it, every trajectory
+        contributes its own first-measurement-per-label set — a label
+        measured in two trajectories counts once *per trajectory* —
+        plus any profile recorded outside a trajectory (e.g. the shared
+        initial measurement).
+        """
+        if trajectory is not None:
+            for candidate in self.trajectories:
+                if candidate.label == trajectory:
+                    return candidate.merged_profile()
+            raise KeyError(f"no trajectory {trajectory!r}")
+        claimed = set()
+        snapshots: List[MetricsSnapshot] = []
+        for lineage in self.trajectories:
+            claimed.update(lineage.profiles)
+            snapshots.extend(lineage.profiles.values())
+        head = [snapshot for label, snapshot in self.profiles.items()
+                if label not in claimed]
+        snapshots = head + snapshots
+        if not snapshots:
             return None
-        return MetricsSnapshot.merged(self.profiles.values())
+        return MetricsSnapshot.merged(snapshots)
 
     @property
     def best(self) -> Candidate:
@@ -91,7 +211,7 @@ class ExplorationLog:
 
 
 class Explorer:
-    """Iterative-improvement search over ISDL descriptions.
+    """Strategy-driven search over ISDL descriptions.
 
     The heavy lifting — measuring candidates — goes through *evaluator*
     (built on demand when not supplied): a worker pool plus an artifact
@@ -99,6 +219,11 @@ class Explorer:
     the same instance.  Pass ``parallel="serial"`` and ``cache=None`` via
     a hand-built :class:`ParallelEvaluator` to reproduce the original
     one-at-a-time engine exactly.
+
+    Which points get proposed and adopted is the strategy's business:
+    ``explore(initial, strategy="greedy")`` (the default) runs the
+    paper's Figure-1 loop; see :mod:`repro.explore.strategies` for the
+    registry.
     """
 
     def __init__(
@@ -135,15 +260,66 @@ class Explorer:
 
     # ------------------------------------------------------------------
 
-    def evaluate(self, desc: ast.Description,
+    def evaluate(self, desc: ast.Description, *args,
                  derived_by: str = "initial") -> Candidate:
+        """Measure one candidate description.
+
+        *derived_by* is keyword-only; the old positional form still
+        works for one release but warns with the new spelling.
+        """
+        if args:
+            warnings.warn(
+                "Explorer.evaluate(desc, derived_by) with positional"
+                " derived_by is deprecated; call"
+                " evaluate(desc, derived_by=...)",
+                DeprecationWarning, stacklevel=2,
+            )
+            if len(args) > 1:
+                raise TypeError(
+                    f"evaluate() takes one description and keyword"
+                    f" options; got {1 + len(args)} positional arguments"
+                )
+            derived_by = args[0]
         evaluation = self.evaluator.evaluate(desc)
         return Candidate(desc, evaluation, derived_by)
 
-    def explore(self, initial: ast.Description,
-                max_iterations: int = 8) -> ExplorationLog:
-        """Run the Figure-1 loop until convergence."""
-        log = ExplorationLog(self.weights)
+    def explore(self, initial: Optional[ast.Description] = None, *args,
+                max_iterations: int = 8,
+                strategy="greedy",
+                seed: int = 0,
+                max_evaluations: Optional[int] = None) -> ExplorationLog:
+        """Search from *initial* under *strategy* until convergence.
+
+        All options are keyword-only.  *strategy* is a
+        :class:`~repro.explore.strategies.Strategy` instance or registry
+        name (default ``"greedy"``, the paper's Figure-1 loop — its
+        trajectories are bit-identical to the pre-strategy engine).
+        *seed* feeds strategies that randomize (multi-start's transform
+        sampler); *max_evaluations*, when set, is a hard cap on batch
+        measurements — the final round's batch is truncated to the
+        remaining budget and the run stops once it is spent.  The
+        old positional ``explore(desc, n)`` form still works for one
+        release but warns with the new spelling.
+        """
+        if args:
+            warnings.warn(
+                "Explorer.explore(desc, max_iterations) with positional"
+                " max_iterations is deprecated; call"
+                " explore(desc, max_iterations=..., strategy=...)",
+                DeprecationWarning, stacklevel=2,
+            )
+            if len(args) > 1:
+                raise TypeError(
+                    f"explore() takes one description and keyword"
+                    f" options; got {1 + len(args)} positional arguments"
+                )
+            max_iterations = args[0]
+        if initial is None:
+            raise TypeError("explore() needs an initial description")
+        from . import strategies as strategy_registry
+
+        search = strategy_registry.get(strategy)
+        log = ExplorationLog(self.weights, strategy=search.name)
         with obs.span("explore.sweep", initial=initial.name,
                       max_iterations=max_iterations):
             with obs.capture() as cap:
@@ -155,55 +331,83 @@ class Explorer:
                     f"initial architecture infeasible:"
                     f" {incumbent.evaluation.reason}"
                 )
-            log.accepted.append(incumbent)
-            for _ in range(max_iterations):
+            log.evaluated.append(incumbent)
+            context = strategy_registry.StrategyContext(
+                initial=incumbent,
+                weights=self.weights,
+                max_iterations=max_iterations,
+                propose_from=lambda c: list(self._proposals(c)),
+                rng=random.Random(seed),
+                log=log,
+            )
+            search.begin(context)
+            while not search.finished:
                 log.iterations += 1
                 with obs.span("explore.iteration", n=log.iterations):
-                    improved = self._iterate(log, incumbent)
-                if improved is None:
+                    requests = search.propose()
+                    if max_evaluations is not None:
+                        # hard measurement cap: truncate the batch to the
+                        # remaining budget (requests keep proposal order,
+                        # so the strategy's highest-priority work survives)
+                        remaining = max_evaluations - log.evaluations
+                        requests = requests[:max(0, remaining)]
+                    survivors = self._measure(log, requests)
+                    search.observe(survivors)
+                if (max_evaluations is not None
+                        and log.evaluations >= max_evaluations):
                     break
-                incumbent = improved
-                log.accepted.append(incumbent)
+            log.accepted = search.winner().accepted
         return log
 
-    def _iterate(self, log: ExplorationLog,
-                 incumbent: Candidate) -> Optional[Candidate]:
-        """One proposal round; the new incumbent, or None at convergence."""
-        requests = [
-            EvalRequest(desc, derived_by=how)
-            for desc, how in self._proposals(incumbent)
-        ]
-        best_next: Optional[Candidate] = None
+    def _measure(self, log: ExplorationLog,
+                 requests: List[EvalRequest]) -> List[Candidate]:
+        """One batch through the evaluator, with all log bookkeeping.
+
+        Returns the feasible candidates in submission order (the
+        tie-break every strategy inherits); errors land in
+        ``log.errors``, infeasible measurements in ``log.rejected``,
+        profiles and cache attribution on the tagged trajectory.
+        """
+        survivors: List[Candidate] = []
+        if not requests:
+            return survivors
         for result in self.evaluator.evaluate_many(requests):
-            self._note_profile(log, result.label, result.obs)
+            request = requests[result.index]
+            trajectory = (log.trajectory(request.tag)
+                          if request.tag else None)
+            self._note_profile(log, result.label, result.obs, trajectory)
+            log.evaluations += 1
+            if result.cached:
+                log.cache_hits += 1
+            if trajectory is not None:
+                if result.cached:
+                    trajectory.cache_hits += 1
+                else:
+                    trajectory.cache_misses += 1
             if not result.ok:
                 log.errors.append(result)
                 continue
-            candidate = Candidate(
-                requests[result.index].desc,
-                result.evaluation,
-                result.derived_by,
-            )
+            candidate = Candidate(request.desc, result.evaluation,
+                                  result.derived_by)
             if not candidate.evaluation.feasible:
                 log.rejected.append(candidate)
                 continue
-            if best_next is None or candidate.cost(
-                self.weights
-            ) < best_next.cost(self.weights):
-                best_next = candidate
-        if best_next is None or best_next.cost(
-            self.weights
-        ) >= incumbent.cost(self.weights):
-            return None
-        return best_next
+            log.evaluated.append(candidate)
+            survivors.append(candidate)
+        return survivors
 
     @staticmethod
     def _note_profile(log: ExplorationLog, label: str,
-                      snapshot: Optional[MetricsSnapshot]) -> None:
-        """Keep the first (= full-measurement) profile per candidate."""
-        if snapshot is None or label in log.profiles:
+                      snapshot: Optional[MetricsSnapshot],
+                      trajectory: Optional[Trajectory] = None) -> None:
+        """Keep the first (= full-measurement) profile per candidate —
+        globally and, when the request was tagged, per trajectory."""
+        if snapshot is None:
             return
-        log.profiles[label] = snapshot.copy()
+        if label not in log.profiles:
+            log.profiles[label] = snapshot.copy()
+        if trajectory is not None and label not in trajectory.profiles:
+            trajectory.profiles[label] = snapshot.copy()
 
     # ------------------------------------------------------------------
     # Measurement-guided candidate generation

@@ -51,6 +51,9 @@ class EvalRequest:
     desc: ast.Description
     derived_by: str = "initial"
     label: Optional[str] = None
+    #: the exploration trajectory this measurement belongs to (set by
+    #: multi-trajectory strategies; ignored by the evaluator itself)
+    tag: Optional[str] = None
 
     @property
     def display_label(self) -> str:

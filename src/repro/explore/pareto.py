@@ -1,0 +1,116 @@
+"""Pareto-dominance utilities for multi-objective exploration.
+
+The exploration cost function folds runtime, area, and power into one
+scalar so the greedy loop has a total order to climb.  A frontier search
+keeps the objectives separate instead: candidate *a* **dominates** *b*
+when it is no worse on every axis and strictly better on at least one.
+Dominance is a strict partial order (irreflexive, asymmetric,
+transitive); the **frontier** of a candidate set is the subset nothing
+dominates — the trade-off curve the paper's methodology lets a designer
+actually see, rather than one weighted winner.
+
+All axes are minimized.  The default objective vector of an
+:class:`~repro.explore.metrics.Evaluation` is
+``(cost, cycle_ns, power_mw, die_size)``: scalar cost rides along as an
+axis so the frontier always contains the cost-best point, and cycle
+time, power, and area span the physical trade-offs.
+
+Everything here is pure and deterministic: frontier extraction preserves
+first-seen input order and keeps exactly one representative of any
+exactly-duplicated objective vector (the earliest), so two runs that
+evaluated the same candidates in the same order produce byte-identical
+frontiers whatever pool mode measured them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "dominates",
+    "frontier",
+    "frontier_indices",
+    "objectives",
+]
+
+T = TypeVar("T")
+
+#: objective vector — a tuple of floats, all minimized
+Point = Tuple[float, ...]
+
+
+def objectives(evaluation, weights=None) -> Point:
+    """The default objective vector of one feasible evaluation.
+
+    ``(cost, cycle_ns, power_mw, die_size)`` — *weights* (defaulting to
+    the evaluation's attached weights) shape only the scalar-cost axis.
+    An infeasible evaluation maps to all-infinite coordinates, which
+    every feasible point dominates.
+    """
+    if not evaluation.feasible:
+        return (float("inf"),) * 4
+    return (
+        evaluation.cost(weights),
+        evaluation.cycle_ns,
+        evaluation.power_mw,
+        evaluation.die_size,
+    )
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when *a* Pareto-dominates *b* (≤ everywhere, < somewhere).
+
+    A strict partial order: no point dominates itself (or any exact
+    duplicate of itself), ``dominates(a, b)`` and ``dominates(b, a)``
+    are never both true, and dominance chains compose transitively.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    strictly_better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strictly_better = True
+    return strictly_better
+
+
+def frontier_indices(points: Sequence[Point]) -> List[int]:
+    """Indices of the non-dominated *points*, in input order.
+
+    Exactly the dominated points are dropped; of exactly-equal points
+    only the first index is kept (deterministic tie handling).
+    """
+    kept: List[int] = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i == j:
+                continue
+            if dominates(other, candidate):
+                dominated = True
+                break
+            if j < i and tuple(other) == tuple(candidate):
+                dominated = True  # exact duplicate: the earlier one stands
+                break
+        if not dominated:
+            kept.append(i)
+    return kept
+
+
+def frontier(items: Sequence[T],
+             key: Optional[Callable[[T], Sequence[float]]] = None
+             ) -> List[T]:
+    """The non-dominated subset of *items*, preserving input order.
+
+    *key* maps an item to its objective vector (identity when omitted —
+    the items are the vectors).  Order stability and duplicate handling
+    follow :func:`frontier_indices`.
+    """
+    if key is None:
+        points = [tuple(item) for item in items]  # type: ignore[arg-type]
+    else:
+        points = [tuple(key(item)) for item in items]
+    return [items[i] for i in frontier_indices(points)]

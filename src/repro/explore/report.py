@@ -72,7 +72,7 @@ def exploration_report(log: ExplorationLog,
     """
     statically_rejected = sum(1 for r in log.errors if r.diagnostics)
     lines = [
-        f"exploration: {log.iterations} iteration(s),"
+        f"exploration ({log.strategy}): {log.iterations} iteration(s),"
         f" {len(log.accepted) - 1} improvement step(s),"
         f" {len(log.rejected)} infeasible candidate(s),"
         f" {statically_rejected} statically rejected",
@@ -88,13 +88,36 @@ def exploration_report(log: ExplorationLog,
     lines.append(
         f"total improvement: {log.improvement:.2f}x cost reduction"
     )
+    if len(log.trajectories) > 1:
+        lines.append("")
+        lines.append(f"trajectories ({len(log.trajectories)}):")
+        for trajectory in log.trajectories:
+            if not trajectory.accepted:
+                lines.append(f"  {trajectory.label:<16} (no feasible start)")
+                continue
+            best = trajectory.best
+            lines.append(
+                f"  {trajectory.label:<16} {len(trajectory.accepted) - 1}"
+                f" step(s), best cost {best.cost(log.weights):,.1f}"
+                f" [{best.derived_by}],"
+                f" cache {trajectory.cache_hits} hit(s)"
+                f" / {trajectory.cache_misses} miss(es)"
+            )
+    front = log.frontier()
+    if len(front) > 1:
+        lines.append("")
+        lines.append(f"pareto frontier ({len(front)} point(s),"
+                     f" cost/cycle-time/power/area):")
+        lines.append(
+            evaluation_table([c.evaluation for c in front], log.weights)
+        )
     if cache is not None:
         lines.append("")
         lines.append(cache.stats.report())
     profile = log.merged_profile()
     if profile is not None and profile.stage_names():
         lines.append("")
-        lines.append(f"stage profile ({len(log.profiles)} candidate"
+        lines.append(f"stage profile ({log.profile_count} candidate"
                      f" measurement(s)):")
         lines.append(profile.stage_table())
     if metrics is not None:

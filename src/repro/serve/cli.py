@@ -74,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="per-job evaluation timeout (seconds)")
     submit.add_argument("--max-steps", type=int, default=500_000)
     submit.add_argument("--label", default=None)
+    submit.add_argument("--strategy", default=None, metavar="NAME",
+                        help="run an exploration from the description"
+                             " instead of one measurement (greedy,"
+                             " multistart, population, pareto)")
+    submit.add_argument("--strategy-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="strategy parameter, repeatable (e.g."
+                             " max_iterations=4, restarts=3,"
+                             " frontier_cap=6)")
     submit.add_argument("--wait", dest="wait", action="store_true",
                         default=True,
                         help="poll until the job finishes (default)")
@@ -156,6 +165,24 @@ def _parse_weights(text: str) -> dict:
     return {"runtime": runtime, "area": area, "power": power}
 
 
+def _parse_strategy_params(pairs: List[str]) -> dict:
+    params: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--strategy-param must be KEY=VALUE; got {pair!r}"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return params
+
+
 def _print_job(record: dict, as_json: bool) -> None:
     if as_json:
         print(json.dumps(record, indent=2, sort_keys=True))
@@ -176,6 +203,23 @@ def _print_job(record: dict, as_json: bool) -> None:
                   f" cost {result['cost']:,.1f}")
         else:
             print(f"  infeasible: {result.get('reason')}")
+    exploration = record.get("exploration")
+    if exploration is not None:
+        print(f"  exploration [{exploration['strategy']}]:"
+              f" {exploration['iterations']} iteration(s),"
+              f" {exploration['evaluations']} evaluation(s)"
+              f" ({exploration['cache_hits']} cached),"
+              f" {exploration['improvement']:.2f}x improvement")
+        best = exploration.get("best") or {}
+        if best:
+            print(f"  best: [{best.get('derived_by')}]"
+                  f" cost {best.get('cost', 0):,.1f}")
+        frontier = exploration.get("frontier") or []
+        if len(frontier) > 1:
+            print(f"  frontier ({len(frontier)} point(s)):")
+            for point in frontier:
+                print(f"    [{point['derived_by']}]"
+                      f" cost {point['cost']:,.1f}")
     if record.get("error"):
         print(f"  error: {record['error']}")
     for diagnostic in record.get("diagnostics", ()):
@@ -196,6 +240,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     }
     if args.label:
         payload["label"] = args.label
+    if args.strategy:
+        payload["strategy"] = {
+            "name": args.strategy,
+            "params": _parse_strategy_params(args.strategy_param),
+        }
+    elif args.strategy_param:
+        raise SystemExit("--strategy-param needs --strategy")
     if args.arch:
         payload["arch"] = args.arch
     else:

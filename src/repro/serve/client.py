@@ -56,13 +56,28 @@ class ServeClient:
     # -- submission ------------------------------------------------------
 
     def submit(self, payload: Dict[str, Any], *,
+               strategy: Optional[str] = None,
+               strategy_params: Optional[Dict[str, Any]] = None,
                max_retries: int = 6,
                backoff_s: float = 0.05) -> Dict[str, Any]:
         """POST one job; retries 429 answers with exponential backoff.
 
+        *strategy* (a registry name, e.g. ``"pareto"``) with optional
+        *strategy_params* turns the job into an exploration run — they
+        are injected as the payload's ``"strategy"`` object.  Without
+        them the payload goes over the wire untouched.
+
         Returns the job record for accepted, coalesced, *and* rejected
         submissions (check ``record["state"]``).
         """
+        if strategy is not None:
+            payload = dict(payload)
+            payload["strategy"] = {"name": strategy,
+                                   "params": dict(strategy_params or {})}
+        elif strategy_params:
+            raise ServeClientError(
+                "strategy_params needs a strategy name"
+            )
         delay = backoff_s
         for attempt in range(max_retries + 1):
             status, answer = self._request(
@@ -87,9 +102,12 @@ class ServeClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def submit_and_wait(self, payload: Dict[str, Any], *,
+                        strategy: Optional[str] = None,
+                        strategy_params: Optional[Dict[str, Any]] = None,
                         timeout: float = 120.0) -> Dict[str, Any]:
         """Submit, then poll to a terminal state (rejected short-circuits)."""
-        record = self.submit(payload)
+        record = self.submit(payload, strategy=strategy,
+                             strategy_params=strategy_params)
         if record["state"] in TERMINAL_STATES:
             return record
         return self.wait(record["id"], timeout=timeout)

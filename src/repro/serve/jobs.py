@@ -111,6 +111,12 @@ class Job:
     followers: List["Job"] = field(default_factory=list)
     #: True when the terminal evaluation came from the warm cache
     cached: bool = False
+    #: exploration-strategy name when the job runs a search instead of a
+    #: single measurement (validated at admission; None = plain job)
+    strategy: Optional[str] = None
+    strategy_params: Dict[str, Any] = field(default_factory=dict)
+    #: exploration summary attached to a terminal strategy job
+    exploration: Optional[Dict[str, Any]] = None
 
     @property
     def done(self) -> bool:
@@ -136,6 +142,9 @@ class Job:
         }
         if self.coalesced_with is not None:
             payload["coalesced_with"] = self.coalesced_with
+        if self.strategy is not None:
+            payload["strategy"] = {"name": self.strategy,
+                                   "params": dict(self.strategy_params)}
         if not full:
             return payload
         payload.update(
@@ -153,6 +162,8 @@ class Job:
         if self.evaluation is not None:
             payload["result"] = _evaluation_dict(self.evaluation,
                                                  self.weights)
+        if self.exploration is not None:
+            payload["exploration"] = dict(self.exploration)
         return payload
 
 

@@ -64,6 +64,8 @@ from ..analyze.diagnostics import Diagnostic, Severity
 from ..cache import ArtifactCache, kernel_fingerprint
 from ..codegen.kernels import resolve_kernels
 from ..errors import CodegenError, IsdlSyntaxError, ReproError
+from ..explore import strategies as strategy_registry
+from ..explore.explorer import Explorer
 from ..explore.metrics import CostWeights
 from ..explore.parallel import EvalRequest, ParallelEvaluator
 from ..isdl import fingerprint
@@ -89,6 +91,13 @@ KNOWN_BACKENDS = ("xsim", "block", "compiled")
 
 #: diagnostic code recorded when the submitted ISDL text does not parse
 CODE_PARSE_ERROR = "ISDL001"
+
+#: diagnostic code recorded when a job names an unknown exploration
+#: strategy or passes parameters its factory rejects
+CODE_BAD_STRATEGY = "SRV401"
+
+#: strategy params consumed by the exploration driver, not the factory
+_DRIVER_PARAMS = ("max_iterations", "seed", "max_evaluations")
 
 
 class BadRequestError(ReproError):
@@ -220,8 +229,10 @@ class EvaluationService:
         if self.draining:
             raise ServiceUnavailableError("service is draining")
         job = self._parse_payload(payload)
-        if job.diagnostics and job.desc is None:
-            return self._reject(job)  # did not parse: ISDL001 on record
+        if job.diagnostics:
+            # did not parse (ISDL001) or named a bad strategy (SRV401):
+            # rejected on record, never costs a queue slot
+            return self._reject(job)
         if self.config.static_check:
             gate = self._gate_diagnostics(job)
             if gate is not None:
@@ -376,6 +387,9 @@ class EvaluationService:
             )
         label = str(payload.get("label")
                     or getattr(desc, "name", None) or arch or "<candidate>")
+        strategy, strategy_params, strategy_diags = \
+            self._parse_strategy(payload.get("strategy"))
+        parse_diags = parse_diags + strategy_diags
         key = None
         if desc is not None:
             key = (
@@ -385,12 +399,62 @@ class EvaluationService:
                 (weights.runtime, weights.area, weights.power),
                 max_steps,
             )
+            if strategy is not None:
+                # a search over a description is a different unit of work
+                # than measuring it; plain jobs keep the exact seed key
+                key = key + (
+                    "strategy", strategy,
+                    tuple(sorted((k, repr(v))
+                                 for k, v in strategy_params.items())),
+                )
         return Job(
             id=new_job_id(), desc=desc, label=label, workloads=workloads,
             kernels=kernels, weights=weights, backend=backend,
             max_steps=max_steps, priority=priority, timeout_s=timeout_s,
             key=key, diagnostics=parse_diags,
+            strategy=strategy, strategy_params=strategy_params,
         )
+
+    def _parse_strategy(self, spec: Any) -> Tuple[
+            Optional[str], Dict[str, Any], Tuple[Diagnostic, ...]]:
+        """Validate the optional ``"strategy"`` object at admission.
+
+        A structurally malformed spec (not an object, missing ``name``)
+        is a :class:`BadRequestError` (400).  A well-formed spec naming
+        an unknown strategy or passing parameters its factory rejects
+        produces an SRV401 diagnostic naming the known strategies — the
+        job is rejected on record (422) without costing a queue slot,
+        mirroring the static-analysis gate.
+        """
+        if spec is None:
+            return None, {}, ()
+        if not isinstance(spec, dict) or not isinstance(
+                spec.get("name"), str):
+            raise BadRequestError(
+                "'strategy' must be an object with a string 'name'"
+                " (and optional 'params' object)"
+            )
+        params = spec.get("params") or {}
+        if not isinstance(params, dict):
+            raise BadRequestError("'strategy'.'params' must be an object")
+        name = spec["name"]
+        factory_params = {k: v for k, v in params.items()
+                          if k not in _DRIVER_PARAMS}
+        try:
+            for driver_param in _DRIVER_PARAMS:
+                if driver_param in params:
+                    int(params[driver_param])
+            strategy_registry.get(name, **factory_params)
+        except strategy_registry.UnknownStrategyError as exc:
+            return None, {}, (Diagnostic(
+                CODE_BAD_STRATEGY, Severity.ERROR, str(exc)),)
+        except (TypeError, ValueError):
+            return None, {}, (Diagnostic(
+                CODE_BAD_STRATEGY, Severity.ERROR,
+                f"driver parameters {_DRIVER_PARAMS} must be integers;"
+                f" known strategies:"
+                f" {', '.join(strategy_registry.available())}"),)
+        return name, dict(params), ()
 
     def _gate_diagnostics(self, job: Job
                           ) -> Optional[Tuple[Diagnostic, ...]]:
@@ -527,11 +591,68 @@ class EvaluationService:
             self._count("serve.evaluations_run")
             return self._evaluate_fn(job), None, False
         evaluator = self._evaluator_for(job)
+        if job.strategy is not None:
+            return self._explore(job, evaluator)
         request = EvalRequest(job.desc, label=job.label)
         result = evaluator.evaluate_many([request])[0]
         if not result.cached:
             self._count("serve.evaluations_run")
         return result.evaluation, result.error, result.cached
+
+    def _explore(self, job: Job, evaluator: ParallelEvaluator
+                 ) -> Tuple[Any, Optional[str], bool]:
+        """Run a strategy job: a whole exploration over the shared
+        evaluator; the result is the best candidate's evaluation plus an
+        exploration summary on the job record."""
+        params = dict(job.strategy_params)
+        max_iterations = int(params.pop("max_iterations", 4))
+        seed = int(params.pop("seed", 0))
+        raw = params.pop("max_evaluations", None)
+        max_evaluations = None if raw is None else int(raw)
+        strategy = strategy_registry.get(job.strategy, **params)
+        explorer = Explorer(list(job.kernels), job.weights,
+                            evaluator=evaluator)
+        log = explorer.explore(
+            job.desc,
+            max_iterations=max_iterations,
+            strategy=strategy,
+            seed=seed,
+            max_evaluations=max_evaluations,
+        )
+        # the initial measurement plus every non-cached batch member
+        self._count("serve.evaluations_run",
+                    1 + log.evaluations - log.cache_hits)
+        frontier = log.frontier()
+        job.exploration = {
+            "strategy": log.strategy,
+            "iterations": log.iterations,
+            "evaluations": log.evaluations,
+            "cache_hits": log.cache_hits,
+            "improvement": log.improvement,
+            "best": {
+                "derived_by": log.best.derived_by,
+                "cost": log.best.cost(job.weights),
+                "fingerprint": fingerprint(log.best.desc),
+            },
+            "frontier": [
+                {
+                    "label": candidate.evaluation.name,
+                    "derived_by": candidate.derived_by,
+                    "cost": candidate.cost(job.weights),
+                }
+                for candidate in frontier
+            ],
+            "trajectories": [
+                {
+                    "label": trajectory.label,
+                    "steps": max(0, len(trajectory.accepted) - 1),
+                    "cache_hits": trajectory.cache_hits,
+                    "cache_misses": trajectory.cache_misses,
+                }
+                for trajectory in log.trajectories
+            ],
+        }
+        return log.best.evaluation, None, False
 
     def _evaluator_for(self, job: Job) -> ParallelEvaluator:
         """The shared per-configuration evaluator (bounded LRU)."""
@@ -636,6 +757,7 @@ class EvaluationService:
             for follower in followers:
                 follower.evaluation = evaluation
                 follower.error = error
+                follower.exploration = job.exploration
                 follower.cached = True if evaluation is not None else cached
                 follower.started_at = job.started_at
                 follower.finished_at = job.finished_at

@@ -136,6 +136,99 @@ def test_obs_disabled_log_profile_is_none():
 
 
 # ----------------------------------------------------------------------
+# multi-trajectory logs (strategy runs)
+# ----------------------------------------------------------------------
+
+
+def _snapshot(seconds):
+    registry = MetricsRegistry()
+    registry.observe("stage.sim.run", seconds)
+    return registry.snapshot()
+
+
+def _multi_log():
+    log = _log()
+    first = log.trajectory("restart-0")
+    first.accepted.append(log.accepted[0])
+    first.profiles["shared"] = _snapshot(0.02)
+    first.cache_hits, first.cache_misses = 1, 3
+    second = log.trajectory("restart-1")
+    second.accepted.append(
+        Candidate(_Desc("other"), _feasible("other", 150), "perturbed")
+    )
+    second.profiles["shared"] = _snapshot(0.03)  # same label, own run
+    second.profiles["extra"] = _snapshot(0.05)
+    second.cache_hits, second.cache_misses = 0, 2
+    return log
+
+
+def test_merged_profile_counts_each_trajectory_measurement():
+    log = _multi_log()
+    # a label measured in two trajectories contributes once per
+    # trajectory, not once per run
+    merged = log.merged_profile()
+    assert merged.histograms["stage.sim.run"].count == 3
+    assert log.profile_count == 3
+
+
+def test_merged_profile_selects_one_trajectory():
+    log = _multi_log()
+    assert log.merged_profile("restart-0") \
+        .histograms["stage.sim.run"].count == 1
+    assert log.merged_profile("restart-1") \
+        .histograms["stage.sim.run"].count == 2
+    with pytest.raises(KeyError):
+        log.merged_profile("no-such-trajectory")
+
+
+def test_merged_profile_keeps_unclaimed_global_measurements():
+    log = _multi_log()
+    log.profiles["initial"] = _snapshot(0.01)  # outside any trajectory
+    assert log.merged_profile().histograms["stage.sim.run"].count == 4
+    assert log.profile_count == 4
+
+
+def test_trajectory_accessors():
+    log = _multi_log()
+    second = log.trajectory("restart-1")
+    assert second.best.derived_by == "perturbed"
+    assert second.initial is second.best
+    assert log.trajectory("restart-0") is log.trajectories[0]
+
+
+def test_report_renders_trajectory_section_for_multi_trajectory_logs():
+    report = exploration_report(_multi_log())
+    assert "trajectories (2):" in report
+    assert "restart-0" in report and "restart-1" in report
+    assert "1 hit(s) / 3 miss(es)" in report
+    assert "0 hit(s) / 2 miss(es)" in report
+
+
+def test_report_omits_trajectory_section_for_single_trajectory():
+    report = exploration_report(_log())
+    assert "trajectories (" not in report
+
+
+def test_report_renders_frontier_table():
+    log = _log()
+    # two feasible measured points trading cycles against die size
+    cheap_small = Evaluation(
+        name="small", feasible=True, cycles=200, cycle_ns=10.0,
+        die_size=10_000.0, power_mw=120.0,
+    )
+    fast_big = Evaluation(
+        name="fast", feasible=True, cycles=50, cycle_ns=10.0,
+        die_size=90_000.0, power_mw=120.0,
+    )
+    log.evaluated.append(Candidate(_Desc("small"), cheap_small, "a"))
+    log.evaluated.append(Candidate(_Desc("fast"), fast_big, "b"))
+    report = exploration_report(log)
+    assert "pareto frontier (2 point(s)" in report
+    assert "small" in report and "fast" in report
+    assert len(log.frontier()) == 2
+
+
+# ----------------------------------------------------------------------
 # Evaluation-service section
 # ----------------------------------------------------------------------
 

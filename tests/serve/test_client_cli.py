@@ -68,6 +68,32 @@ def test_client_health_and_metrics(live):
     assert "serve_jobs_accepted_total" in client.metrics_text()
 
 
+def test_client_submit_strategy_kwarg_injects_the_payload_field(live):
+    client = ServeClient(live.url)
+    record = client.submit_and_wait(
+        payload(), strategy="greedy",
+        strategy_params={"max_iterations": 2},
+    )
+    assert record["state"] == "succeeded"
+    assert record["strategy"] == {
+        "name": "greedy", "params": {"max_iterations": 2},
+    }
+
+
+def test_client_submit_unknown_strategy_returns_rejected_record(live):
+    client = ServeClient(live.url)
+    record = client.submit(payload(), strategy="annealing")
+    assert record["state"] == "rejected"
+    assert record["diagnostics"][0]["code"] == "SRV401"
+    assert "greedy" in record["diagnostics"][0]["message"]
+
+
+def test_client_strategy_params_without_name_raise(live):
+    client = ServeClient(live.url)
+    with pytest.raises(ServeClientError):
+        client.submit(payload(), strategy_params={"restarts": 2})
+
+
 def test_unreachable_server_raises_transport_error():
     client = ServeClient("http://127.0.0.1:9", timeout=0.5)
     with pytest.raises(ServeClientError):
@@ -157,6 +183,36 @@ def test_cli_submit_bad_weights_is_a_usage_error(live):
     with pytest.raises(SystemExit):
         cli_main(["submit", "--url", live.url, "--arch", "spam2",
                   "--weights", "1,2"])
+
+
+def test_cli_submit_strategy_flag_passes_through(live, capsys):
+    code = cli_main([
+        "submit", "--url", live.url, "--arch", "spam2",
+        "--strategy", "greedy",
+        "--strategy-param", "max_iterations=2",
+        "--json",
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["strategy"] == {
+        "name": "greedy", "params": {"max_iterations": 2},
+    }
+
+
+def test_cli_submit_unknown_strategy_exits_two(live, capsys):
+    code = cli_main([
+        "submit", "--url", live.url, "--arch", "spam2",
+        "--strategy", "annealing",
+    ])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "SRV401" in out
+
+
+def test_cli_strategy_param_without_strategy_is_a_usage_error(live):
+    with pytest.raises(SystemExit):
+        cli_main(["submit", "--url", live.url, "--arch", "spam2",
+                  "--strategy-param", "restarts=2"])
 
 
 def test_cli_status_prints_health_and_counters(live, capsys):

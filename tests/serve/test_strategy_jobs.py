@@ -1,0 +1,148 @@
+"""Tests for exploration-strategy jobs on the serve v1 schema."""
+
+import json
+
+import pytest
+
+from repro.serve import EvaluationService, ServiceConfig
+from repro.serve.service import BadRequestError, CODE_BAD_STRATEGY
+
+from .conftest import payload
+
+
+@pytest.fixture(scope="module")
+def real_service():
+    """One real-toolchain service shared by the module's slow tests."""
+    service = EvaluationService(
+        ServiceConfig(workers=1, static_check=False)
+    ).start()
+    yield service
+    service.shutdown(drain=False, timeout=5.0)
+
+
+def strategy_payload(name="greedy", params=None, **overrides):
+    spec = {"name": name}
+    if params is not None:
+        spec["params"] = params
+    return payload(strategy=spec, **overrides)
+
+
+# ----------------------------------------------------------------------
+# admission-time validation (satellite 2)
+# ----------------------------------------------------------------------
+
+
+def test_unknown_strategy_rejected_without_queue_slot(service_factory):
+    service = service_factory()
+    job = service.submit(strategy_payload("annealing"))
+    assert job.state.value == "rejected"
+    assert job.diagnostics
+    assert job.diagnostics[0].code == CODE_BAD_STRATEGY
+    # the diagnostic names the known strategies
+    for known in ("greedy", "multistart", "pareto", "population"):
+        assert known in job.diagnostics[0].message
+    assert len(service.queue) == 0
+    counters = service.metrics_snapshot().counters
+    assert counters.get("serve.jobs_rejected") == 1
+    assert "serve.jobs_accepted" not in counters
+
+
+def test_bad_strategy_params_rejected(service_factory):
+    service = service_factory()
+    job = service.submit(
+        strategy_payload("pareto", params={"bogus": True})
+    )
+    assert job.state.value == "rejected"
+    assert job.diagnostics[0].code == CODE_BAD_STRATEGY
+
+
+def test_bad_driver_params_rejected(service_factory):
+    service = service_factory()
+    job = service.submit(
+        strategy_payload("greedy", params={"max_iterations": "lots"})
+    )
+    assert job.state.value == "rejected"
+    assert job.diagnostics[0].code == CODE_BAD_STRATEGY
+
+
+@pytest.mark.parametrize("spec", [
+    "greedy",                      # not an object
+    {"params": {}},                # name missing
+    {"name": 7},                   # name not a string
+    {"name": "greedy", "params": [1, 2]},  # params not an object
+])
+def test_malformed_strategy_spec_is_a_400(service_factory, spec):
+    service = service_factory()
+    with pytest.raises(BadRequestError):
+        service.submit(payload(strategy=spec))
+
+
+def test_absent_strategy_field_unchanged(service_factory):
+    service = service_factory()
+    job = service.submit(payload())
+    service.wait(job.id, timeout=10)
+    record = job.to_dict()
+    assert job.strategy is None
+    assert "strategy" not in record
+    assert "exploration" not in record
+    assert json.dumps(record)  # still JSON-serializable
+
+
+# ----------------------------------------------------------------------
+# dispatch, result schema, coalescing (real tool chain)
+# ----------------------------------------------------------------------
+
+
+def test_strategy_job_runs_an_exploration(real_service):
+    job = real_service.submit(strategy_payload(
+        "pareto", params={"max_iterations": 2}, arch="spam2",
+        timeout_s=300.0,
+    ))
+    real_service.wait(job.id, timeout=300)
+    assert job.state.value == "succeeded"
+    record = job.to_dict()
+    assert record["strategy"] == {
+        "name": "pareto", "params": {"max_iterations": 2},
+    }
+    exploration = record["exploration"]
+    assert exploration["strategy"] == "pareto"
+    assert exploration["iterations"] <= 2
+    assert exploration["evaluations"] > 0
+    assert exploration["frontier"]
+    assert exploration["best"]["cost"] == min(
+        point["cost"] for point in exploration["frontier"]
+    )
+    assert record["result"]["feasible"]
+    assert json.dumps(record)
+
+
+def test_identical_strategy_jobs_coalesce(real_service):
+    spec = strategy_payload("greedy", params={"max_iterations": 1},
+                            arch="risc16", timeout_s=300.0)
+    first = real_service.submit(spec)
+    second = real_service.submit(spec)
+    real_service.wait(first.id, timeout=300)
+    real_service.wait(second.id, timeout=300)
+    if second.coalesced_with is not None:
+        assert second.coalesced_with == first.id
+        assert second.to_dict()["exploration"] is not None
+    # a plain job for the same description is different work
+    plain = real_service.submit(payload(arch="risc16", timeout_s=300.0))
+    assert plain.coalesced_with is None
+    real_service.wait(plain.id, timeout=300)
+    assert "exploration" not in plain.to_dict()
+
+
+def test_different_strategy_params_do_not_coalesce(real_service):
+    a = real_service.submit(strategy_payload(
+        "greedy", params={"max_iterations": 1}, arch="spam",
+        timeout_s=300.0,
+    ))
+    b = real_service.submit(strategy_payload(
+        "greedy", params={"max_iterations": 2}, arch="spam",
+        timeout_s=300.0,
+    ))
+    assert b.coalesced_with is None
+    real_service.wait(a.id, timeout=300)
+    real_service.wait(b.id, timeout=300)
+    assert a.key != b.key
