@@ -1,0 +1,114 @@
+"""Shard liveness: periodic ``/healthz`` probes with flap damping.
+
+The monitor probes every shard on a fixed interval from one daemon
+thread.  A shard is marked **down** after ``fail_threshold`` consecutive
+failed probes (one lost packet should not trigger a fleet-wide requeue)
+and **up** again on the first success.  Transitions invoke the router's
+callbacks *outside* the table lock, because the down-callback does real
+work (requeueing the dead shard's in-flight jobs).
+
+``probe_once`` is public so tests drive detection deterministically
+instead of sleeping against a timer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Callable, Optional
+
+from .shards import ShardTable
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Background ``/healthz`` prober for a :class:`ShardTable`."""
+
+    def __init__(self, table: ShardTable, *, interval_s: float = 1.0,
+                 fail_threshold: int = 2, timeout_s: float = 2.0,
+                 on_down: Optional[Callable[[str], None]] = None,
+                 on_up: Optional[Callable[[str], None]] = None,
+                 on_probe: Optional[Callable[[], None]] = None):
+        self.table = table
+        self.interval_s = interval_s
+        self.fail_threshold = max(1, fail_threshold)
+        self.timeout_s = timeout_s
+        self.on_down = on_down
+        self.on_up = on_up
+        #: called after every full probe sweep (metrics refresh)
+        self.on_probe = on_probe
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "HealthMonitor":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-cluster-health",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.timeout_s + 1.0)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.probe_once()
+            except Exception:  # noqa: BLE001 — the prober must survive
+                pass
+
+    def probe_once(self) -> None:
+        """Probe every shard once; fire up/down transition callbacks."""
+        for info in self.table.all():
+            health = self._probe(info.url)
+            if health is not None:
+                revived = self.table.note_success(
+                    info.id,
+                    queue_depth=int(health.get("queue_depth") or 0),
+                    job_states=health.get("jobs")
+                    if isinstance(health.get("jobs"), dict) else None,
+                )
+                if revived and self.on_up is not None:
+                    self.on_up(info.id)
+            else:
+                died = self.table.note_failure(info.id,
+                                               self.fail_threshold)
+                if died and self.on_down is not None:
+                    self.on_down(info.id)
+        if self.on_probe is not None:
+            self.on_probe()
+
+    def note_transport_failure(self, shard_id: str) -> None:
+        """A forward attempt failed at the socket: counts as a probe
+        failure so repeated submit errors take a shard down between
+        probe ticks."""
+        died = self.table.note_failure(shard_id, self.fail_threshold)
+        if died and self.on_down is not None:
+            self.on_down(shard_id)
+
+    def _probe(self, url: str) -> Optional[dict]:
+        """The shard's health document, or None when unreachable.
+
+        A 503 (draining) answer still carries a body, but a draining
+        shard should not receive new work — treat it as down for
+        placement while keeping its reported depth.
+        """
+        request = urllib.request.Request(url + "/healthz",
+                                         headers={"Accept":
+                                                  "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError:
+            return None  # reachable but unhealthy/draining
+        except (urllib.error.URLError, OSError, ValueError):
+            return None

@@ -1,0 +1,663 @@
+"""The cluster router: the ``/v1/jobs`` API, fanned over worker shards.
+
+The router speaks exactly the wire protocol of :mod:`repro.serve.http` —
+clients and the ``repro-serve`` CLI work against it unchanged — but owns
+no evaluation machinery.  Each submission is mapped to a shard by the
+**description fingerprint** (the same key every cache layer uses), so
+all work on one candidate lands on the worker whose artifact cache is
+already warm for it; coalescing and memoization then dedupe *within*
+the shard exactly as in the single-node service.
+
+Life of a submission:
+
+1. Compute the shard key: the structural fingerprint of the submitted
+   description (an unparseable one hashes its raw text — the shard will
+   produce the proper ISDL001 rejection record; the router never
+   second-guesses the worker's admission gate).
+2. Pick the highest-ranked *healthy* shard (rendezvous order, see
+   :mod:`repro.cluster.shards`) and forward the POST body verbatim.
+   A transport failure fails over to the next-ranked shard; with no
+   healthy shard left the router answers **503 + Retry-After** itself.
+3. Pass the shard's answer through **verbatim** — status, body, and the
+   ``Retry-After`` header of a 429/503 included — and remember
+   ``job id → (payload, key, shard)`` for status routing and requeue.
+
+``GET /v1/jobs/<id>`` routes by the id's shard prefix (ids are
+``<shard>-<hex>``, minted by the worker).  When the health monitor
+declares a shard dead, the router re-submits that shard's non-terminal
+jobs to their next-ranked healthy shard and records an id alias, so the
+client's original job id keeps resolving — the answer carries
+``"requeued_to"`` with the new id for transparency.  Jobs stranded with
+no healthy shard are retried when one recovers.
+
+Router metrics (own registry, ``GET /metrics``): counters
+``cluster.jobs_forwarded``, ``cluster.forward_errors``,
+``cluster.jobs_requeued``, ``cluster.requeue_failed``,
+``cluster.unavailable`` (503s the router itself answered), histogram
+``cluster.forward_seconds``, gauges ``cluster.shards_healthy``,
+``cluster.shard_up.<id>`` and ``cluster.shard_depth.<id>``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.export import prometheus_text
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..serve.jobs import shard_of_job_id
+from .health import HealthMonitor
+from .shards import ShardInfo, ShardTable
+
+__all__ = [
+    "ClusterRouter",
+    "ForwardResult",
+    "RouterHTTPServer",
+    "make_router_server",
+    "router_in_thread",
+]
+
+#: response headers forwarded verbatim from shard to client
+_PASS_HEADERS = ("Content-Type", "Retry-After")
+
+#: id-alias chains are bounded (a job can only be requeued so often)
+_MAX_ALIAS_HOPS = 8
+
+
+@dataclass
+class ForwardResult:
+    """One answer on its way back to the client."""
+
+    status: int
+    body: bytes
+    headers: Dict[str, str]
+
+    @classmethod
+    def json(cls, status: int, payload: Dict[str, Any],
+             retry_after: Optional[float] = None) -> "ForwardResult":
+        headers = {"Content-Type": "application/json; charset=utf-8"}
+        if retry_after is not None:
+            headers["Retry-After"] = str(int(max(1, round(retry_after))))
+        return cls(status,
+                   json.dumps(payload, sort_keys=True).encode("utf-8"),
+                   headers)
+
+
+@dataclass
+class _RoutedJob:
+    """What the router remembers about a forwarded submission."""
+
+    payload: Dict[str, Any]
+    key: str
+    shard: str
+    terminal: bool = False
+
+
+class ClusterRouter:
+    """Fingerprint-sharded front over N worker shards."""
+
+    def __init__(self, table: ShardTable, *,
+                 probe_interval_s: float = 1.0,
+                 fail_threshold: int = 2,
+                 probe_timeout_s: float = 2.0,
+                 forward_timeout_s: float = 60.0,
+                 retry_after_s: float = 2.0,
+                 max_routed: int = 4096):
+        self.table = table
+        self.forward_timeout_s = forward_timeout_s
+        self.retry_after_s = retry_after_s
+        self.max_routed = max_routed
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+        self.monitor = HealthMonitor(
+            table, interval_s=probe_interval_s,
+            fail_threshold=fail_threshold, timeout_s=probe_timeout_s,
+            on_down=self._on_shard_down, on_up=self._on_shard_up,
+            on_probe=self._refresh_shard_gauges,
+        )
+        self._routed: "OrderedDict[str, _RoutedJob]" = OrderedDict()
+        self._aliases: Dict[str, str] = {}
+        self._arch_keys: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ClusterRouter":
+        self.monitor.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.monitor.stop()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, raw_body: bytes) -> ForwardResult:
+        """Route one POST /v1/jobs body; the shard's answer verbatim."""
+        try:
+            payload = json.loads(raw_body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return ForwardResult.json(
+                400, {"error": f"request body is not valid JSON: {exc}"}
+            )
+        if not isinstance(payload, dict):
+            return ForwardResult.json(
+                400, {"error": "request body must be a JSON object"}
+            )
+        key = self._shard_key(payload)
+        return self._submit_routed(payload, raw_body, key)
+
+    def _submit_routed(self, payload: Dict[str, Any], raw_body: bytes,
+                       key: str,
+                       exclude: Tuple[str, ...] = ()) -> ForwardResult:
+        tried = set(exclude)
+        while True:
+            shard = self.table.pick(key, exclude=tried)
+            if shard is None:
+                self._count("cluster.unavailable")
+                return ForwardResult.json(
+                    503,
+                    {"error": "no healthy shard available; retry later",
+                     "shards": [s.to_dict() for s in self.table.all()]},
+                    retry_after=self.retry_after_s,
+                )
+            begun = time.monotonic()
+            try:
+                result = self._forward(shard, "POST", "/v1/jobs",
+                                       body=raw_body)
+            except _TransportError:
+                tried.add(shard.id)
+                self._count("cluster.forward_errors")
+                self.monitor.note_transport_failure(shard.id)
+                continue
+            self.metrics.observe("cluster.forward_seconds",
+                                 time.monotonic() - begun)
+            self._count("cluster.jobs_forwarded")
+            if result.status in (202, 422):
+                self._record_routed(result, payload, key, shard)
+            return result
+
+    def _record_routed(self, result: ForwardResult,
+                       payload: Dict[str, Any], key: str,
+                       shard: ShardInfo) -> None:
+        record = _parse_json(result.body)
+        job_id = record.get("id") if isinstance(record, dict) else None
+        if not isinstance(job_id, str):
+            return
+        terminal = (isinstance(record, dict)
+                    and record.get("state") in _TERMINAL_STATES)
+        with self._lock:
+            self._routed[job_id] = _RoutedJob(
+                payload=payload, key=key, shard=shard.id,
+                terminal=terminal,
+            )
+            self._prune_routed()
+
+    def _prune_routed(self) -> None:
+        """Cap the routed-jobs table, shedding oldest terminal first."""
+        if len(self._routed) <= self.max_routed:
+            return
+        for job_id in [j for j, r in self._routed.items() if r.terminal]:
+            del self._routed[job_id]
+            self._aliases.pop(job_id, None)
+            if len(self._routed) <= self.max_routed:
+                return
+        while len(self._routed) > self.max_routed:
+            self._routed.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Status routing
+    # ------------------------------------------------------------------
+
+    def job_record(self, job_id: str) -> ForwardResult:
+        """Route GET /v1/jobs/<id>, following requeue aliases."""
+        canonical = self._resolve_alias(job_id)
+        shard = self._shard_for_job(canonical)
+        if shard is None:
+            return ForwardResult.json(
+                404, {"error": f"unknown job {job_id!r}"}
+            )
+        if not shard.healthy:
+            requeued = self._try_inline_requeue(canonical, shard)
+            if requeued is not None:
+                canonical, shard = requeued
+            else:
+                return ForwardResult.json(
+                    503,
+                    {"error": f"shard {shard.id!r} for job {job_id!r}"
+                              f" is down; retry later"},
+                    retry_after=self.retry_after_s,
+                )
+        try:
+            result = self._forward(shard, "GET",
+                                   f"/v1/jobs/{canonical}")
+        except _TransportError:
+            self.monitor.note_transport_failure(shard.id)
+            return ForwardResult.json(
+                503,
+                {"error": f"shard {shard.id!r} unreachable; retry later"},
+                retry_after=self.retry_after_s,
+            )
+        if result.status == 200:
+            self._note_terminal(canonical, result)
+            if canonical != job_id:
+                result = _rewrite_id(result, job_id, canonical)
+        return result
+
+    def list_jobs(self) -> ForwardResult:
+        """Merged recent submissions across all healthy shards."""
+        merged: List[Dict[str, Any]] = []
+        for shard in self.table.healthy():
+            try:
+                result = self._forward(shard, "GET", "/v1/jobs")
+            except _TransportError:
+                self.monitor.note_transport_failure(shard.id)
+                continue
+            record = _parse_json(result.body)
+            if isinstance(record, dict) \
+                    and isinstance(record.get("jobs"), list):
+                for job in record["jobs"]:
+                    if isinstance(job, dict):
+                        job = dict(job)
+                        job["shard"] = shard.id
+                        merged.append(job)
+        merged.sort(key=lambda j: j.get("created_at") or 0.0)
+        return ForwardResult.json(200, {"jobs": merged})
+
+    def _resolve_alias(self, job_id: str) -> str:
+        with self._lock:
+            seen = 0
+            while job_id in self._aliases and seen < _MAX_ALIAS_HOPS:
+                job_id = self._aliases[job_id]
+                seen += 1
+            return job_id
+
+    def _shard_for_job(self, job_id: str) -> Optional[ShardInfo]:
+        prefix = shard_of_job_id(job_id)
+        if prefix is not None:
+            info = self.table.get(prefix)
+            if info is not None:
+                return info
+        with self._lock:
+            routed = self._routed.get(job_id)
+        if routed is not None:
+            return self.table.get(routed.shard)
+        return None
+
+    def _note_terminal(self, job_id: str, result: ForwardResult) -> None:
+        record = _parse_json(result.body)
+        if isinstance(record, dict) \
+                and record.get("state") in _TERMINAL_STATES:
+            with self._lock:
+                routed = self._routed.get(job_id)
+                if routed is not None:
+                    routed.terminal = True
+
+    # ------------------------------------------------------------------
+    # Dead-shard requeue
+    # ------------------------------------------------------------------
+
+    def _on_shard_down(self, shard_id: str) -> None:
+        self._count("cluster.shards_down_events")
+        self._requeue_from(shard_id)
+        self._refresh_shard_gauges()
+
+    def _on_shard_up(self, shard_id: str) -> None:
+        self._count("cluster.shards_up_events")
+        # a recovering shard may unstrand jobs that had nowhere to go
+        self._requeue_stranded()
+        self._refresh_shard_gauges()
+
+    def _requeue_from(self, shard_id: str) -> None:
+        """Re-submit the dead shard's non-terminal jobs elsewhere."""
+        with self._lock:
+            pending = [(job_id, routed)
+                       for job_id, routed in self._routed.items()
+                       if routed.shard == shard_id
+                       and not routed.terminal
+                       and job_id not in self._aliases]
+        for job_id, routed in pending:
+            self._requeue_job(job_id, routed, exclude=(shard_id,))
+
+    def _requeue_stranded(self) -> None:
+        with self._lock:
+            down = {s.id for s in self.table.all() if not s.healthy}
+            pending = [(job_id, routed)
+                       for job_id, routed in self._routed.items()
+                       if routed.shard in down
+                       and not routed.terminal
+                       and job_id not in self._aliases]
+        for job_id, routed in pending:
+            self._requeue_job(job_id, routed, exclude=(routed.shard,))
+
+    def _requeue_job(self, job_id: str, routed: _RoutedJob,
+                     exclude: Tuple[str, ...]) -> bool:
+        raw = json.dumps(routed.payload, sort_keys=True).encode("utf-8")
+        result = self._submit_routed(routed.payload, raw, routed.key,
+                                     exclude=exclude)
+        if result.status not in (202, 422):
+            self._count("cluster.requeue_failed")
+            return False
+        record = _parse_json(result.body)
+        new_id = record.get("id") if isinstance(record, dict) else None
+        if not isinstance(new_id, str) or new_id == job_id:
+            self._count("cluster.requeue_failed")
+            return False
+        with self._lock:
+            self._aliases[job_id] = new_id
+        self._count("cluster.jobs_requeued")
+        return True
+
+    def _try_inline_requeue(self, job_id: str, dead: ShardInfo
+                            ) -> Optional[Tuple[str, ShardInfo]]:
+        """A status lookup hit a down shard before the monitor requeued
+        it: requeue right now so the client gets an answer this poll."""
+        with self._lock:
+            routed = self._routed.get(job_id)
+            already = self._aliases.get(job_id)
+        if already is not None:
+            canonical = self._resolve_alias(job_id)
+            shard = self._shard_for_job(canonical)
+            if shard is not None and shard.healthy:
+                return canonical, shard
+            return None
+        if routed is None or routed.terminal:
+            return None
+        if not self._requeue_job(job_id, routed, exclude=(dead.id,)):
+            return None
+        canonical = self._resolve_alias(job_id)
+        shard = self._shard_for_job(canonical)
+        if shard is None or not shard.healthy:
+            return None
+        return canonical, shard
+
+    # ------------------------------------------------------------------
+    # Shard keys
+    # ------------------------------------------------------------------
+
+    def _shard_key(self, payload: Dict[str, Any]) -> str:
+        """The placement key: the description's structural fingerprint.
+
+        The same digest every cache layer keys on, so a candidate's
+        traffic — duplicates, retries, exploration revisits — all lands
+        where its artifacts already live.  Unparseable or malformed
+        submissions hash what they can; they still route somewhere
+        deterministic and the worker's admission gate does the judging.
+        """
+        arch = payload.get("arch")
+        if isinstance(arch, str):
+            cached = self._arch_keys.get(arch)
+            if cached is not None:
+                return cached
+            try:
+                from ..arch import description_for
+                from ..isdl import fingerprint
+
+                key = fingerprint(description_for(arch))
+            except Exception:  # noqa: BLE001 — unknown arch still routes
+                key = f"arch:{arch}"
+            self._arch_keys[arch] = key
+            return key
+        source = payload.get("isdl")
+        if isinstance(source, str):
+            from ..isdl import fingerprint, fingerprint_text, load_string
+
+            try:
+                return fingerprint(load_string(source,
+                                               filename="<submitted>",
+                                               validate=False))
+            except Exception:  # noqa: BLE001 — parse errors still route
+                return fingerprint_text(source)
+        return "malformed"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        shards = self.table.all()
+        healthy = [s for s in shards if s.healthy]
+        if not shards or not healthy:
+            status = "down"
+        elif len(healthy) < len(shards):
+            status = "degraded"
+        else:
+            status = "ok"
+        jobs: Dict[str, int] = {}
+        for shard in shards:
+            for state, count in shard.job_states.items():
+                jobs[state] = jobs.get(state, 0) + count
+        snapshot = self.metrics.snapshot()
+        return {
+            "status": status,
+            "role": "router",
+            "uptime_s": time.time() - self.started_at,
+            "workers": len(healthy),
+            "queue_depth": sum(s.queue_depth for s in healthy),
+            "jobs": jobs,
+            "shards": [s.to_dict() for s in shards],
+            "counters": {
+                name: value
+                for name, value in sorted(snapshot.counters.items())
+                if name.startswith("cluster.")
+            },
+        }
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def _refresh_shard_gauges(self) -> None:
+        healthy = 0
+        for shard in self.table.all():
+            healthy += 1 if shard.healthy else 0
+            self.metrics.set(f"cluster.shard_up.{shard.id}",
+                             1.0 if shard.healthy else 0.0)
+            self.metrics.set(f"cluster.shard_depth.{shard.id}",
+                             float(shard.queue_depth))
+        self.metrics.set("cluster.shards_healthy", float(healthy))
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.add(name, amount)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _forward(self, shard: ShardInfo, method: str, path: str,
+                 body: Optional[bytes] = None) -> ForwardResult:
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            shard.url + path, data=body, headers=headers, method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.forward_timeout_s) as response:
+                return ForwardResult(
+                    response.status, response.read(),
+                    _pass_headers(response.headers),
+                )
+        except urllib.error.HTTPError as exc:
+            # a real answer (429/503/422/...): body + headers verbatim
+            return ForwardResult(exc.code, exc.read(),
+                                 _pass_headers(exc.headers))
+        except (urllib.error.URLError, OSError) as exc:
+            raise _TransportError(str(exc)) from None
+
+
+class _TransportError(Exception):
+    """The shard never answered (connect/read failure)."""
+
+
+_TERMINAL_STATES = frozenset(
+    {"succeeded", "failed", "rejected", "cancelled"}
+)
+
+
+def _pass_headers(source) -> Dict[str, str]:
+    passed = {}
+    for name in _PASS_HEADERS:
+        value = source.get(name) if source is not None else None
+        if value is not None:
+            passed[name] = value
+    return passed
+
+
+def _parse_json(raw: bytes) -> Any:
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+def _rewrite_id(result: ForwardResult, requested_id: str,
+                canonical_id: str) -> ForwardResult:
+    """Serve a requeued job's record under the id the client knows."""
+    record = _parse_json(result.body)
+    if not isinstance(record, dict):
+        return result
+    record["id"] = requested_id
+    record["requeued_to"] = canonical_id
+    body = json.dumps(record, sort_keys=True).encode("utf-8")
+    return ForwardResult(result.status, body, dict(result.headers))
+
+
+# ---------------------------------------------------------------------------
+# HTTP front
+# ---------------------------------------------------------------------------
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ClusterRouter`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    disable_nagle_algorithm = True
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], router: ClusterRouter):
+        super().__init__(address, _RouterHandler)
+        self.router = router
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        if ":" in host:  # bare IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{port}"
+
+    def shutdown_router(self) -> None:
+        self.router.shutdown()
+        self.shutdown()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server_version = "repro-cluster/1.0"
+    protocol_version = "HTTP/1.1"
+
+    #: request bodies above this size are refused outright (413)
+    MAX_BODY_BYTES = 4 * 1024 * 1024
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        if self.path.rstrip("/") == "/v1/jobs":
+            raw = self._read_body()
+            if raw is None:
+                return
+            self._send(self.server.router.submit(raw))
+        else:
+            self._send(ForwardResult.json(
+                404, {"error": f"no such endpoint: POST {self.path}"}
+            ))
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        path = self.path.split("?", 1)[0]
+        router: ClusterRouter = self.server.router
+        if path == "/healthz":
+            health = router.health()
+            status = 200 if health["status"] == "ok" else 503 \
+                if health["status"] == "down" else 200
+            self._send(ForwardResult.json(status, health))
+        elif path == "/metrics":
+            body = prometheus_text(router.metrics_snapshot())
+            self._send(ForwardResult(
+                200, body.encode("utf-8"),
+                {"Content-Type":
+                 "text/plain; version=0.0.4; charset=utf-8"},
+            ))
+        elif path.rstrip("/") == "/v1/jobs":
+            self._send(router.list_jobs())
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):].strip("/")
+            self._send(router.job_record(job_id))
+        else:
+            self._send(ForwardResult.json(
+                404, {"error": f"no such endpoint: GET {path}"}
+            ))
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0:
+            self._send(ForwardResult.json(
+                400, {"error": "missing request body"}
+            ))
+            return None
+        if length > self.MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send(ForwardResult.json(
+                413, {"error": "request body too large"}
+            ))
+            return None
+        return self.rfile.read(length)
+
+    def _send(self, result: ForwardResult) -> None:
+        self.send_response(result.status)
+        headers = dict(result.headers)
+        headers.setdefault("Content-Type",
+                           "application/json; charset=utf-8")
+        headers["Content-Length"] = str(len(result.body))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(result.body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # routing metrics live in the registry, not stderr
+
+
+def make_router_server(router: ClusterRouter, host: str = "127.0.0.1",
+                       port: int = 0) -> RouterHTTPServer:
+    """Bind (port 0 picks a free one) and start the health monitor."""
+    server = RouterHTTPServer((host, port), router)
+    router.start()
+    return server
+
+
+def router_in_thread(router: ClusterRouter, host: str = "127.0.0.1",
+                     port: int = 0) -> Tuple[RouterHTTPServer,
+                                             threading.Thread]:
+    """Run the router HTTP server on a daemon thread (tests, benches)."""
+    server = make_router_server(router, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-cluster-http", daemon=True)
+    thread.start()
+    return server, thread

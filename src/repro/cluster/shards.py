@@ -1,0 +1,166 @@
+"""The shard table: rendezvous-hashed ownership of the design space.
+
+Each worker shard owns a slice of description-fingerprint space.  The
+assignment uses rendezvous (highest-random-weight) hashing: for a key
+``k`` every shard ``s`` gets the weight ``sha256(s "|" k)`` and the
+highest-weight *healthy* shard owns the key.  Two properties make this
+the right choice over ``hash(k) % N``:
+
+* **Minimal remapping.**  Adding or removing a shard only moves the keys
+  whose top-ranked shard changed — exactly the departed shard's keys (or
+  the arrivals the new shard now wins).  Modulo hashing reshuffles
+  ~``(N-1)/N`` of *all* keys on any membership change, which would turn
+  every shard's carefully warmed :class:`~repro.cache.ArtifactCache`
+  cold each time a worker joins or dies.
+* **Deterministic failover.**  The full ranking (not just the winner) is
+  meaningful: when a shard is down, its keys fall to their second-ranked
+  shard — the same one every router instance computes, with no
+  coordination state to persist or replicate.
+
+The table itself is a small thread-safe registry of
+:class:`ShardInfo` records that the health monitor mutates and the
+router reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ShardInfo", "ShardTable", "rendezvous_rank"]
+
+
+def _weight(shard_id: str, key: str) -> int:
+    digest = hashlib.sha256(f"{shard_id}|{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_rank(key: str, shard_ids: Iterable[str]) -> List[str]:
+    """Shard ids ordered by descending rendezvous weight for *key*.
+
+    Pure and stateless: every caller computes the same ranking, and
+    dropping a shard from *shard_ids* leaves the relative order of the
+    rest untouched (the minimal-remapping property).
+    """
+    return sorted(shard_ids, key=lambda s: _weight(s, key), reverse=True)
+
+
+@dataclass
+class ShardInfo:
+    """One worker shard as the router sees it."""
+
+    id: str
+    url: str
+    healthy: bool = True
+    #: consecutive failed probes (reset on success)
+    failures: int = 0
+    #: queue depth reported by the last successful /healthz probe
+    queue_depth: int = 0
+    #: job-state counts from the last successful probe
+    job_states: Dict[str, int] = field(default_factory=dict)
+    last_probe_at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "url": self.url,
+            "healthy": self.healthy,
+            "queue_depth": self.queue_depth,
+            "last_probe_at": self.last_probe_at,
+        }
+
+
+class ShardTable:
+    """Thread-safe registry of shards with rendezvous key placement."""
+
+    def __init__(self, shards: Iterable[Tuple[str, str]] = ()):
+        self._shards: "Dict[str, ShardInfo]" = {}
+        self._lock = threading.Lock()
+        for shard_id, url in shards:
+            self.add(shard_id, url)
+
+    def add(self, shard_id: str, url: str) -> ShardInfo:
+        info = ShardInfo(id=shard_id, url=url.rstrip("/"))
+        with self._lock:
+            self._shards[shard_id] = info
+        return info
+
+    def remove(self, shard_id: str) -> None:
+        with self._lock:
+            self._shards.pop(shard_id, None)
+
+    def get(self, shard_id: str) -> Optional[ShardInfo]:
+        with self._lock:
+            return self._shards.get(shard_id)
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._shards)
+
+    def all(self) -> List[ShardInfo]:
+        with self._lock:
+            return list(self._shards.values())
+
+    def healthy(self) -> List[ShardInfo]:
+        with self._lock:
+            return [s for s in self._shards.values() if s.healthy]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    # -- placement -------------------------------------------------------
+
+    def rank(self, key: str) -> List[str]:
+        """All shard ids in rendezvous order for *key* (health-blind)."""
+        return rendezvous_rank(key, self.ids())
+
+    def pick(self, key: str,
+             exclude: Iterable[str] = ()) -> Optional[ShardInfo]:
+        """The highest-ranked healthy shard for *key*, or None.
+
+        A down shard is skipped, so its keys deterministically fall to
+        their next-ranked shard; *exclude* lets a requeue avoid the
+        shard that just died even before the monitor marks it.
+        """
+        banned = set(exclude)
+        with self._lock:
+            candidates = {s.id: s for s in self._shards.values()
+                          if s.healthy and s.id not in banned}
+        for shard_id in rendezvous_rank(key, candidates):
+            return candidates[shard_id]
+        return None
+
+    # -- health bookkeeping (driven by the monitor) ----------------------
+
+    def note_success(self, shard_id: str, queue_depth: int = 0,
+                     job_states: Optional[Dict[str, int]] = None) -> bool:
+        """Record a good probe; True when this flipped the shard up."""
+        with self._lock:
+            info = self._shards.get(shard_id)
+            if info is None:
+                return False
+            revived = not info.healthy
+            info.healthy = True
+            info.failures = 0
+            info.queue_depth = queue_depth
+            info.job_states = dict(job_states or {})
+            info.last_probe_at = time.time()
+            return revived
+
+    def note_failure(self, shard_id: str, threshold: int) -> bool:
+        """Record a failed probe; True when this flipped the shard down
+        (``threshold`` consecutive failures)."""
+        with self._lock:
+            info = self._shards.get(shard_id)
+            if info is None:
+                return False
+            info.failures += 1
+            info.last_probe_at = time.time()
+            if info.healthy and info.failures >= threshold:
+                info.healthy = False
+                return True
+            return False

@@ -36,7 +36,9 @@ from .jobs import (
     JobState,
     QueueFullError,
     ServiceUnavailableError,
+    shard_of_job_id,
 )
+from .journal import JobJournal
 from .service import (
     BadRequestError,
     EvaluationService,
@@ -49,6 +51,7 @@ __all__ = [
     "BadRequestError",
     "EvaluationService",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobState",
     "QueueFullError",
@@ -60,4 +63,5 @@ __all__ = [
     "UnknownJobError",
     "make_server",
     "serve_in_thread",
+    "shard_of_job_id",
 ]

@@ -17,10 +17,11 @@ failures and 400-level protocol misuse do raise
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ReproError
 
@@ -30,6 +31,21 @@ __all__ = ["BackpressureError", "ServeClient", "ServeClientError"]
 TERMINAL_STATES = frozenset(
     {"succeeded", "failed", "rejected", "cancelled"}
 )
+
+
+def _retry_after_s(headers: Dict[str, str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header, or None (absent/unusable).
+
+    Only the delta-seconds form is parsed; the HTTP-date form (which
+    neither the service nor the router emits) is ignored.
+    """
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return max(0.0, float(value))
+            except (TypeError, ValueError):
+                return None
+    return None
 
 
 class ServeClientError(ReproError):
@@ -67,6 +83,13 @@ class ServeClient:
         are injected as the payload's ``"strategy"`` object.  Without
         them the payload goes over the wire untouched.
 
+        A ``Retry-After`` header on the answer overrides the local
+        backoff schedule (the server knows its own drain rate better
+        than our doubling guess).  A **503 that carries Retry-After** —
+        a cluster router with every shard down — is retried on the same
+        budget; a bare 503 (a single node draining for shutdown) still
+        raises immediately, as it always has.
+
         Returns the job record for accepted, coalesced, *and* rejected
         submissions (check ``record["state"]``).
         """
@@ -80,18 +103,28 @@ class ServeClient:
             )
         delay = backoff_s
         for attempt in range(max_retries + 1):
-            status, answer = self._request(
+            status, answer, headers = self._request(
                 "POST", "/v1/jobs", body=payload
             )
             if status in (202, 422):
                 return answer
-            if status == 429 and attempt < max_retries:
-                time.sleep(delay)
+            retry_after = _retry_after_s(headers)
+            retryable = status == 429 or (status == 503
+                                          and retry_after is not None)
+            if retryable and attempt < max_retries:
+                time.sleep(retry_after if retry_after is not None
+                           else delay)
                 delay *= 2
                 continue
             if status == 429:
                 raise BackpressureError(
                     f"service still overloaded after"
+                    f" {max_retries} retries: {answer.get('error')}",
+                    status=status, payload=answer,
+                )
+            if retryable:
+                raise BackpressureError(
+                    f"service still unavailable after"
                     f" {max_retries} retries: {answer.get('error')}",
                     status=status, payload=answer,
                 )
@@ -115,7 +148,7 @@ class ServeClient:
     # -- polling ---------------------------------------------------------
 
     def job(self, job_id: str) -> Dict[str, Any]:
-        status, answer = self._request("GET", f"/v1/jobs/{job_id}")
+        status, answer, _ = self._request("GET", f"/v1/jobs/{job_id}")
         if status != 200:
             raise ServeClientError(
                 f"job lookup failed ({status}):"
@@ -126,28 +159,49 @@ class ServeClient:
 
     def wait(self, job_id: str, *, timeout: float = 120.0,
              poll_initial_s: float = 0.02,
-             poll_max_s: float = 0.5) -> Dict[str, Any]:
+             poll_max_s: float = 0.5,
+             jitter: float = 0.2) -> Dict[str, Any]:
         """Poll ``GET /v1/jobs/<id>`` until terminal, backing off between
-        polls; raises :class:`TimeoutError` when *timeout* elapses."""
+        polls; raises :class:`TimeoutError` when *timeout* elapses.
+
+        Each sleep is jittered by ±*jitter* (default 20%) so a burst of
+        clients created together — an exploration fan-out, a CI sweep —
+        desynchronises instead of polling the service in lockstep.
+
+        A 503 on the status lookup is transient here: a cluster router
+        answers 503 for a job whose shard just died, until its monitor
+        flips the shard down and requeues the work.  The poll keeps
+        going — the deadline already bounds how long that can last.
+        """
         deadline = time.monotonic() + timeout
         delay = poll_initial_s
         while True:
-            record = self.job(job_id)
-            if record["state"] in TERMINAL_STATES:
+            try:
+                record = self.job(job_id)
+            except ServeClientError as exc:
+                if exc.status != 503:
+                    raise
+                record = None
+            if record is not None and record["state"] in TERMINAL_STATES:
                 return record
             if time.monotonic() >= deadline:
+                state = (record["state"] if record is not None
+                         else "unreachable")
                 raise TimeoutError(
-                    f"job {job_id} still {record['state']!r}"
+                    f"job {job_id} still {state!r}"
                     f" after {timeout:.1f}s"
                 )
-            time.sleep(min(delay, max(0.0,
+            pause = delay
+            if jitter > 0.0:
+                pause *= random.uniform(1.0 - jitter, 1.0 + jitter)
+            time.sleep(min(pause, max(0.0,
                                       deadline - time.monotonic())))
             delay = min(delay * 2, poll_max_s)
 
     # -- introspection ---------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        status, answer = self._request("GET", "/healthz")
+        status, answer, _ = self._request("GET", "/healthz")
         if status not in (200, 503):
             raise ServeClientError(
                 f"health check failed ({status})", status=status,
@@ -165,7 +219,7 @@ class ServeClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None
-                 ) -> "tuple[int, Dict[str, Any]]":
+                 ) -> "Tuple[int, Dict[str, Any], Dict[str, str]]":
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -178,9 +232,10 @@ class ServeClient:
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
-                return response.status, self._decode(response.read())
+                return (response.status, self._decode(response.read()),
+                        dict(response.headers))
         except urllib.error.HTTPError as exc:
-            return exc.code, self._decode(exc.read())
+            return exc.code, self._decode(exc.read()), dict(exc.headers)
         except urllib.error.URLError as exc:
             raise ServeClientError(
                 f"cannot reach {self.base_url}: {exc.reason}"

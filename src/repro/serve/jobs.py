@@ -20,6 +20,13 @@ a hard depth bound that *raises* (:class:`QueueFullError` — the HTTP
 layer turns it into a 429) instead of blocking the acceptor thread,
 per-entry ``not_before`` delays for retry backoff, and a batch pop that
 groups ready jobs sharing an evaluator configuration.
+
+Ready ordering is ``(-priority, seq)`` where ``seq`` is assigned on the
+*first* push and sticks to the job for life: a job that times out and is
+re-queued re-enters ahead of every same-priority submission that arrived
+after it, so retries cannot starve behind a steady stream of fresh work.
+``not_before`` only controls *visibility* (a retry backing off stays
+hidden until its time comes), never ready-order.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ __all__ = [
     "QueueFullError",
     "ServiceUnavailableError",
     "new_job_id",
+    "shard_of_job_id",
 ]
 
 
@@ -76,9 +84,21 @@ _TERMINAL = frozenset(
 )
 
 
-def new_job_id() -> str:
-    """A short, URL-safe, collision-resistant job identifier."""
-    return secrets.token_hex(8)
+def new_job_id(shard: Optional[str] = None) -> str:
+    """A short, URL-safe, collision-resistant job identifier.
+
+    With *shard* the id is prefixed ``<shard>-<hex>`` so a cluster router
+    can route ``GET /v1/jobs/<id>`` to the shard that owns the record
+    without any shared state (see :mod:`repro.cluster`).
+    """
+    token = secrets.token_hex(8)
+    return f"{shard}-{token}" if shard else token
+
+
+def shard_of_job_id(job_id: str) -> Optional[str]:
+    """The shard prefix of a shard-aware job id (None for plain ids)."""
+    prefix, sep, rest = job_id.rpartition("-")
+    return prefix if sep and rest else None
 
 
 @dataclass
@@ -117,6 +137,15 @@ class Job:
     strategy_params: Dict[str, Any] = field(default_factory=dict)
     #: exploration summary attached to a terminal strategy job
     exploration: Optional[Dict[str, Any]] = None
+    #: queue sequence number, assigned on first push and preserved across
+    #: requeues so a retried job keeps its place in line
+    seq: Optional[int] = None
+    #: the original submission payload (verbatim JSON object) — what the
+    #: journal records so a restarted service can re-admit the job
+    payload: Optional[Dict[str, Any]] = None
+    #: terminal wire record restored from the journal of a previous run;
+    #: when set the job is a read-only stub and to_dict() serves it as-is
+    restored: Optional[Dict[str, Any]] = None
 
     @property
     def done(self) -> bool:
@@ -131,6 +160,12 @@ class Job:
 
     def to_dict(self, full: bool = True) -> Dict[str, Any]:
         """The job's wire representation (JSON-serializable)."""
+        if self.restored is not None:
+            record = dict(self.restored)
+            record["id"] = self.id
+            record["state"] = self.state.value
+            record["restored"] = True
+            return record
         payload: Dict[str, Any] = {
             "id": self.id,
             "state": self.state.value,
@@ -189,26 +224,30 @@ def _evaluation_dict(evaluation: Evaluation,
 class JobQueue:
     """Bounded priority queue with retry delays and config-batched pops.
 
-    Entries are ``(not_before, -priority, seq, job)`` heap tuples: higher
-    ``priority`` pops first, FIFO within a priority level, and an entry
-    whose ``not_before`` lies in the future (a retry backing off) is
-    invisible until its time comes.  ``max_depth`` bounds queued — not
-    running — jobs; :meth:`push` raises :class:`QueueFullError` at the
-    bound so the acceptor can answer 429 instead of blocking.
+    Two heaps: the *ready* heap is ordered ``(-priority, seq)`` — higher
+    ``priority`` pops first, first-assigned ``seq`` first within a level —
+    and the *delayed* heap is ordered by ``not_before`` and feeds the
+    ready heap as entries mature.  A job's ``seq`` is assigned on its
+    first push and preserved across requeues, so a timed-out-and-retried
+    job re-enters ahead of later same-priority arrivals instead of
+    starving behind them.  ``max_depth`` bounds queued — not running —
+    jobs; :meth:`push` raises :class:`QueueFullError` at the bound so the
+    acceptor can answer 429 instead of blocking.
     """
 
     def __init__(self, max_depth: int = 64):
         if max_depth < 1:
             raise ValueError("queue depth bound must be >= 1")
         self.max_depth = max_depth
-        self._heap: List[Tuple[float, int, int, Job]] = []
+        self._ready: List[Tuple[int, int, Job]] = []
+        self._delayed: List[Tuple[float, int, Job]] = []
         self._seq = itertools.count()
         self._cond = threading.Condition()
         self._stopped = False
 
     def __len__(self) -> int:
         with self._cond:
-            return len(self._heap)
+            return len(self._ready) + len(self._delayed)
 
     def push(self, job: Job, not_before: float = 0.0,
              enforce_bound: bool = True) -> None:
@@ -221,15 +260,25 @@ class JobQueue:
         with self._cond:
             if self._stopped:
                 raise ServiceUnavailableError("job queue is stopped")
-            if enforce_bound and len(self._heap) >= self.max_depth:
+            if (enforce_bound
+                    and len(self._ready) + len(self._delayed)
+                    >= self.max_depth):
                 raise QueueFullError(
                     f"job queue is full ({self.max_depth} queued)"
                 )
-            heapq.heappush(
-                self._heap,
-                (not_before, -job.priority, next(self._seq), job),
-            )
+            if job.seq is None:
+                job.seq = next(self._seq)
+            if not_before <= time.monotonic():
+                heapq.heappush(self._ready, (-job.priority, job.seq, job))
+            else:
+                heapq.heappush(self._delayed, (not_before, job.seq, job))
             self._cond.notify()
+
+    def _promote(self, now: float) -> None:
+        """Move matured delayed entries onto the ready heap."""
+        while self._delayed and self._delayed[0][0] <= now:
+            _, seq, job = heapq.heappop(self._delayed)
+            heapq.heappush(self._ready, (-job.priority, seq, job))
 
     def pop_batch(self, batch_size: int = 1,
                   timeout: Optional[float] = None) -> Optional[List[Job]]:
@@ -246,28 +295,29 @@ class JobQueue:
             if first is None:
                 return None
             batch = [first]
-            skipped: List[Tuple[float, int, int, Job]] = []
-            while (len(batch) < batch_size and self._heap
-                   and self._heap[0][0] <= time.monotonic()):
-                entry = heapq.heappop(self._heap)
-                if entry[3].config_key == first.config_key:
-                    batch.append(entry[3])
+            skipped: List[Tuple[int, int, Job]] = []
+            self._promote(time.monotonic())
+            while len(batch) < batch_size and self._ready:
+                entry = heapq.heappop(self._ready)
+                if entry[2].config_key == first.config_key:
+                    batch.append(entry[2])
                 else:
                     skipped.append(entry)
             for entry in skipped:
-                heapq.heappush(self._heap, entry)
+                heapq.heappush(self._ready, entry)
             return batch
 
     def _wait_for_ready(self, deadline: Optional[float]) -> Optional[Job]:
         """Pop the first ready entry, waiting out delays and empty spells."""
         while True:
             now = time.monotonic()
-            if self._heap and self._heap[0][0] <= now:
-                return heapq.heappop(self._heap)[3]
+            self._promote(now)
+            if self._ready:
+                return heapq.heappop(self._ready)[2]
             if self._stopped:
                 return None
-            if self._heap:
-                wait = self._heap[0][0] - now
+            if self._delayed:
+                wait: Optional[float] = self._delayed[0][0] - now
             elif deadline is not None:
                 wait = deadline - now
             else:
@@ -283,8 +333,12 @@ class JobQueue:
         """Stop the queue and return every still-queued job (any delay)."""
         with self._cond:
             self._stopped = True
-            drained = [entry[3] for entry in sorted(self._heap)]
-            self._heap.clear()
+            entries = ([(seq, job) for _, seq, job in self._ready]
+                       + [(seq, job) for _, seq, job in self._delayed])
+            drained = [job for _, job in sorted(entries,
+                                                key=lambda e: e[0])]
+            self._ready.clear()
+            self._delayed.clear()
             self._cond.notify_all()
             return drained
 

@@ -52,6 +52,7 @@ when that is enabled — counters ``serve.jobs_accepted``,
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -78,6 +79,7 @@ from .jobs import (
     ServiceUnavailableError,
     new_job_id,
 )
+from .journal import JobJournal
 
 __all__ = [
     "BadRequestError",
@@ -129,6 +131,20 @@ class ServiceConfig:
     share_evaluations: bool = True
     #: bound on distinct evaluator configurations kept warm
     max_evaluators: int = 32
+    #: directory for durable state; when set, a job journal
+    #: (``journal.jsonl``) records admissions/transitions/results and is
+    #: replayed on start so accepted jobs survive a crash
+    data_dir: Optional[str] = None
+    #: shard identity in a cluster: job ids become ``<shard>-<hex>`` so a
+    #: router can route status lookups without shared state
+    shard_id: Optional[str] = None
+    #: fsync the journal on every append (machine-crash durability)
+    journal_fsync: bool = False
+    #: terminal records kept across a startup journal compaction
+    journal_keep_terminal: int = 512
+    #: guard disk-cache builds with a cross-process lock/lease so
+    #: co-located shards sharing a disk path never duplicate a build
+    cache_lease: bool = False
 
 
 class EvaluationService:
@@ -147,7 +163,17 @@ class EvaluationService:
         self.cache = cache if cache is not None else ArtifactCache(
             max_entries=self.config.cache_entries,
             disk_path=self.config.disk_path,
+            lease=self.config.cache_lease,
         )
+        self.journal: Optional[JobJournal] = None
+        if self.config.data_dir:
+            os.makedirs(self.config.data_dir, exist_ok=True)
+            self.journal = JobJournal(
+                os.path.join(self.config.data_dir, "journal.jsonl"),
+                fsync=self.config.journal_fsync,
+                keep_terminal=self.config.journal_keep_terminal,
+            )
+        self._replayed = False
         self.metrics = MetricsRegistry()
         self.queue = JobQueue(self.config.max_queue_depth)
         self.started_at = time.time()
@@ -167,7 +193,15 @@ class EvaluationService:
     # ------------------------------------------------------------------
 
     def start(self) -> "EvaluationService":
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool (idempotent).
+
+        With a journal configured, the previous run's log is replayed
+        first: terminal records are restored so old job ids still
+        resolve, and admitted-but-unfinished jobs re-enter the queue
+        with their original ids.
+        """
+        if self.journal is not None and not self._replayed:
+            self._replay_journal()
         with self._lock:
             if self._workers:
                 return self
@@ -199,6 +233,8 @@ class EvaluationService:
             self._evaluators.clear()
         for evaluator in evaluators:
             evaluator.shutdown()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "EvaluationService":
         return self.start()
@@ -226,9 +262,18 @@ class EvaluationService:
         error: it becomes a ``rejected`` job whose record carries the
         static-analysis diagnostics.
         """
+        return self._admit(payload)
+
+    def _admit(self, payload: Dict[str, Any], *,
+               job_id: Optional[str] = None,
+               enforce_bound: bool = True) -> Job:
+        """Submission body; journal replay re-enters here with the
+        original *job_id* and ``enforce_bound=False`` (an accepted job
+        must never be dropped because the restart refilled the queue)."""
         if self.draining:
             raise ServiceUnavailableError("service is draining")
-        job = self._parse_payload(payload)
+        job = self._parse_payload(payload, job_id=job_id)
+        job.payload = payload
         if job.diagnostics:
             # did not parse (ISDL001) or named a bad strategy (SRV401):
             # rejected on record, never costs a queue slot
@@ -247,9 +292,10 @@ class EvaluationService:
                     leader.followers.append(job)
                     self._register(job)
                     self._count("serve.jobs_coalesced")
+                    self._journal_admit(job)
                     return job
             try:
-                self.queue.push(job)
+                self.queue.push(job, enforce_bound=enforce_bound)
             except QueueFullError:
                 self._count("serve.jobs_throttled")
                 raise
@@ -257,6 +303,7 @@ class EvaluationService:
             self._register(job)
             self._count("serve.jobs_accepted")
             self._gauge("serve.queue_depth", len(self.queue))
+            self._journal_admit(job)
         return job
 
     def job(self, job_id: str) -> Job:
@@ -316,7 +363,8 @@ class EvaluationService:
     # Payload parsing and the admission gate
     # ------------------------------------------------------------------
 
-    def _parse_payload(self, payload: Dict[str, Any]) -> Job:
+    def _parse_payload(self, payload: Dict[str, Any],
+                       job_id: Optional[str] = None) -> Job:
         if not isinstance(payload, dict):
             raise BadRequestError("submission payload must be a JSON object")
         desc = None
@@ -408,7 +456,8 @@ class EvaluationService:
                                  for k, v in strategy_params.items())),
                 )
         return Job(
-            id=new_job_id(), desc=desc, label=label, workloads=workloads,
+            id=job_id or new_job_id(self.config.shard_id),
+            desc=desc, label=label, workloads=workloads,
             kernels=kernels, weights=weights, backend=backend,
             max_steps=max_steps, priority=priority, timeout_s=timeout_s,
             key=key, diagnostics=parse_diags,
@@ -484,11 +533,52 @@ class EvaluationService:
         with self._lock:
             self._register(job)
         self._count("serve.jobs_rejected")
+        self._journal_result(job)
         return job
 
     def _register(self, job: Job) -> None:
         self._jobs[job.id] = job
         self._order.append(job.id)
+
+    # ------------------------------------------------------------------
+    # Journal hooks and replay
+    # ------------------------------------------------------------------
+
+    def _journal_admit(self, job: Job) -> None:
+        if self.journal is not None and job.payload is not None:
+            self.journal.admit(job.id, job.payload,
+                               coalesced_with=job.coalesced_with)
+
+    def _journal_result(self, job: Job) -> None:
+        if self.journal is not None and job.restored is None:
+            self.journal.result(job.id, job.to_dict(full=True))
+
+    def _replay_journal(self) -> None:
+        """Fold the previous run's journal: restore terminal records,
+        re-admit live jobs under their original ids, compact the file."""
+        self._replayed = True
+        terminal, live = self.journal.load()
+        self.journal.compact(terminal.values())
+        with self._lock:
+            for job_id, record in terminal.items():
+                self._jobs[job_id] = _restored_job(job_id, record)
+                self._order.append(job_id)
+                self._count("serve.jobs_restored")
+        for job_id, payload in live.items():
+            try:
+                self._admit(payload, job_id=job_id, enforce_bound=False)
+                self._count("serve.jobs_replayed")
+            except ReproError as exc:
+                # e.g. an architecture that no longer exists: record the
+                # failure under the original id so the client learns why
+                stub = _restored_job(job_id, {
+                    "id": job_id, "state": JobState.FAILED.value,
+                    "error": f"journal replay failed: {exc}",
+                })
+                with self._lock:
+                    self._jobs[job_id] = stub
+                    self._order.append(job_id)
+                self._count("serve.jobs_failed")
 
     # ------------------------------------------------------------------
     # Worker pool
@@ -762,6 +852,9 @@ class EvaluationService:
                 follower.started_at = job.started_at
                 follower.finished_at = job.finished_at
                 self._set_state(follower, state)
+            self._journal_result(job)
+            for follower in followers:
+                self._journal_result(follower)
             self._done_cond.notify_all()
         if state is JobState.SUCCEEDED:
             self._count("serve.jobs_completed", 1 + len(followers))
@@ -774,7 +867,11 @@ class EvaluationService:
                           max(0.0, job.finished_at - job.created_at))
 
     def _set_state(self, job: Job, state: JobState) -> None:
+        previous = job.state
         job.state = state
+        if (self.journal is not None and not state.terminal
+                and state is not previous and job.restored is None):
+            self.journal.state(job.id, state.value, attempts=job.attempts)
 
     # ------------------------------------------------------------------
     # Metrics plumbing (own registry + the global obs facade)
@@ -795,3 +892,21 @@ class EvaluationService:
 
 def _format_error(exc: BaseException) -> str:
     return traceback.format_exception_only(type(exc), exc)[-1].strip()
+
+
+def _restored_job(job_id: str, record: Dict[str, Any]) -> Job:
+    """A read-only stub serving a journal-restored terminal record."""
+    try:
+        state = JobState(record.get("state", "failed"))
+    except ValueError:
+        state = JobState.FAILED
+    return Job(
+        id=job_id, desc=None,
+        label=str(record.get("label", "<restored>")),
+        workloads=tuple(record.get("workloads") or ()), kernels=(),
+        weights=CostWeights(), backend=str(record.get("backend", "xsim")),
+        max_steps=0, state=state, restored=record,
+        created_at=record.get("created_at") or time.time(),
+        finished_at=record.get("finished_at"),
+        error=record.get("error"),
+    )

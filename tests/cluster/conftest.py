@@ -1,0 +1,118 @@
+"""Shared fixtures for the cluster tests.
+
+``fleet`` stands up N **in-process** worker shards (real
+:class:`~repro.serve.service.EvaluationService` instances behind real
+HTTP servers, with stubbed evaluation) plus a :class:`ClusterRouter`
+over them.  The router's health monitor is *not* started on a timer —
+tests call ``monitor.probe_once()`` to drive failure detection
+deterministically.  Subprocess-level crash coverage lives in
+``test_recovery.py``.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterRouter, ShardTable, router_in_thread
+from repro.serve import EvaluationService, ServiceConfig
+from repro.serve.http import serve_in_thread
+
+from ..serve.conftest import instant_eval
+
+
+def payload(**overrides):
+    base = {"arch": "spam2", "workloads": ["sum:8"], "timeout_s": 10.0}
+    base.update(overrides)
+    return base
+
+
+class Fleet:
+    """N in-process shards + one router, with plain-HTTP helpers."""
+
+    def __init__(self, count, evaluate_fn=instant_eval, *,
+                 fail_threshold=2, **service_overrides):
+        self.services = []
+        self.servers = []
+        for index in range(count):
+            config = dict(workers=2, static_check=False, batch_size=1,
+                          shard_id=f"s{index}")
+            config.update(service_overrides)
+            service = EvaluationService(ServiceConfig(**config),
+                                        evaluate_fn=evaluate_fn)
+            server, _ = serve_in_thread(service)
+            self.services.append(service)
+            self.servers.append(server)
+        self.table = ShardTable(
+            (f"s{i}", self.servers[i].url) for i in range(count)
+        )
+        # probe interval is irrelevant: tests call probe_once directly
+        self.router = ClusterRouter(self.table, probe_interval_s=3600.0,
+                                    fail_threshold=fail_threshold,
+                                    retry_after_s=2.0)
+        self.router_server, _ = router_in_thread(self.router)
+        self.url = self.router_server.url
+
+    def service_for(self, job_id):
+        shard = job_id.rsplit("-", 1)[0]
+        index = int(shard[1:])
+        return self.services[index]
+
+    def kill_shard(self, index):
+        """Make one shard unreachable (connection refused from now on)."""
+        self.servers[index].shutdown()
+        self.servers[index].server_close()
+        self.services[index].shutdown(drain=False, timeout=2.0)
+
+    def close(self):
+        self.router_server.shutdown_router()
+        self.router_server.server_close()
+        for server, service in zip(self.servers, self.services):
+            try:
+                server.shutdown()
+                server.server_close()
+            except OSError:
+                pass
+            service.shutdown(drain=False, timeout=2.0)
+
+    # -- plain-HTTP helpers (headers matter in these tests) -------------
+
+    def post_job(self, body):
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + "/v1/jobs", data=data, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        return self._do(request)
+
+    def get(self, path):
+        return self._do(urllib.request.Request(self.url + path))
+
+    @staticmethod
+    def _do(request):
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as resp:
+                return resp.status, json.loads(resp.read()), \
+                    dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                body = json.loads(raw)
+            except (ValueError, UnicodeDecodeError):
+                body = {"raw": raw.decode("utf-8", "replace")}
+            return exc.code, body, dict(exc.headers)
+
+
+@pytest.fixture
+def fleet_factory():
+    fleets = []
+
+    def build(count=2, **kwargs):
+        fleet = Fleet(count, **kwargs)
+        fleets.append(fleet)
+        return fleet
+
+    yield build
+    for fleet in fleets:
+        fleet.close()

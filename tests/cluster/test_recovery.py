@@ -1,0 +1,174 @@
+"""Crash recovery with real worker processes.
+
+These tests SIGKILL actual ``repro-cluster worker`` subprocesses — no
+drain, no atexit — and verify the two recovery paths the design
+promises:
+
+* **Journal replay**: restart the worker on the same data dir; every
+  job id accepted before the kill resolves to a terminal record.
+* **Router requeue**: leave the worker dead; the router detects it and
+  re-submits its jobs to a survivor, and the original id still answers.
+"""
+
+import json
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterRouter, ShardTable, Supervisor, \
+    router_in_thread
+
+TERMINAL = ("succeeded", "failed", "rejected", "cancelled")
+
+
+@pytest.fixture
+def fleet_env():
+    env = os.environ.copy()
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def post(url, body, timeout=10.0):
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/v1/jobs", data=data, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get_job(url, job_id, timeout=10.0):
+    try:
+        with urllib.request.urlopen(f"{url}/v1/jobs/{job_id}",
+                                    timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_terminal(url, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            status, record = get_job(url, job_id)
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+            continue
+        last = (status, record)
+        if status == 200 and record.get("state") in TERMINAL:
+            return record
+        time.sleep(0.2)
+    raise AssertionError(f"job {job_id} not terminal: {last}")
+
+
+def job_payload(arch="spam2", size=64):
+    return {"arch": arch, "workloads": [f"sum:{size}"],
+            "backend": "block", "max_steps": 200_000,
+            "timeout_s": 30.0}
+
+
+def test_journal_replay_after_sigkill(tmp_path, fleet_env):
+    """Kill a worker mid-flight; restart it on the same data dir; every
+    accepted job id resolves to a finished record."""
+    supervisor = Supervisor(count=1, data_dir=str(tmp_path),
+                            env=fleet_env,
+                            worker_args=["--workers", "1"])
+    try:
+        supervisor.start()
+        supervisor.wait_healthy(timeout_s=60.0)
+        worker = supervisor.workers[0]
+        # a burst of distinct jobs: the 1-thread worker cannot finish
+        # them all before the kill lands
+        ids = []
+        for size in (96, 128, 160, 192):
+            status, record = post(worker.url, job_payload(size=size))
+            assert status == 202, record
+            ids.append(record["id"])
+        assert supervisor.kill(worker.shard_id,
+                               signal.SIGKILL) is not None
+        worker.process.wait(timeout=10.0)
+
+        # restart on the same data dir: the journal replays
+        supervisor.restart = True
+        assert supervisor.tend() == 1
+        supervisor.wait_healthy(timeout_s=60.0)
+
+        for job_id in ids:
+            record = wait_terminal(worker.url, job_id)
+            assert record["state"] == "succeeded", record
+            assert record["id"] == job_id
+    finally:
+        supervisor.stop()
+
+
+def test_router_requeues_a_killed_shards_jobs(tmp_path, fleet_env):
+    """SIGKILL one of two shards; the router flips it down, re-submits
+    its accepted jobs to the survivor, and the original ids resolve."""
+    supervisor = Supervisor(count=2, data_dir=str(tmp_path),
+                            env=fleet_env,
+                            worker_args=["--workers", "1"])
+    router_server = None
+    try:
+        supervisor.start()
+        supervisor.wait_healthy(timeout_s=60.0)
+        router = ClusterRouter(ShardTable(supervisor.shard_specs()),
+                               probe_interval_s=0.2, fail_threshold=2,
+                               probe_timeout_s=1.0)
+        router_server, _ = router_in_thread(router)
+        url = router_server.url
+
+        # enough distinct candidates that both shards own some work
+        ids = []
+        for arch in ("spam2", "spam", "acc8", "risc16"):
+            status, record = post(url, job_payload(arch=arch))
+            assert status == 202, record
+            ids.append(record["id"])
+        victims = {jid.rsplit("-", 1)[0] for jid in ids}
+        assert len(victims) >= 1
+        victim = sorted(victims)[0]
+
+        assert supervisor.kill(victim, signal.SIGKILL) is not None
+        # the monitor (0.2s interval) flips the shard and requeues
+        for job_id in ids:
+            record = wait_terminal(url, job_id, timeout=90.0)
+            assert record["state"] == "succeeded", record
+            assert record["id"] == job_id
+        requeued = [jid for jid in ids
+                    if jid.rsplit("-", 1)[0] == victim]
+        for job_id in requeued:
+            _, record = get_job(url, job_id)
+            assert record.get("requeued_to"), record
+            new_shard = record["requeued_to"].rsplit("-", 1)[0]
+            assert new_shard != victim
+    finally:
+        if router_server is not None:
+            router_server.shutdown_router()
+            router_server.server_close()
+        supervisor.stop()
+
+
+def test_worker_writes_and_clears_its_pidfile(tmp_path, fleet_env):
+    supervisor = Supervisor(count=1, data_dir=str(tmp_path),
+                            env=fleet_env,
+                            worker_args=["--workers", "1"])
+    try:
+        supervisor.start()
+        supervisor.wait_healthy(timeout_s=60.0)
+        worker = supervisor.workers[0]
+        pidfile = os.path.join(str(tmp_path), worker.shard_id,
+                               "worker.pid")
+        assert int(open(pidfile).read()) == worker.pid
+    finally:
+        supervisor.stop()
+    assert not os.path.exists(pidfile)  # graceful exit cleans up

@@ -1,0 +1,264 @@
+"""The cluster router over in-process worker shards."""
+
+import threading
+import time
+
+from repro.cluster import rendezvous_rank
+from repro.serve.jobs import shard_of_job_id
+
+from .conftest import payload
+
+TERMINAL = ("succeeded", "failed", "rejected", "cancelled")
+
+#: built-in candidates with distinct fingerprints (distinct shard keys)
+ARCHS = ("spam2", "spam", "acc8", "risc16")
+
+
+def owners_by_arch(fleet):
+    """arch → owning shard id, from the router's own placement."""
+    return {arch: rendezvous_rank(
+        fleet.router._shard_key({"arch": arch}), fleet.table.ids())[0]
+        for arch in ARCHS}
+
+
+def archs_on_different_shards(fleet):
+    """Two archs owned by two different shards (the 4 built-ins always
+    split across >=2 shards of a 2..4-shard table in practice; assert
+    rather than assume)."""
+    owners = owners_by_arch(fleet)
+    by_owner = {}
+    for arch, owner in owners.items():
+        by_owner.setdefault(owner, arch)
+    assert len(by_owner) >= 2, f"all archs hashed to one shard: {owners}"
+    (owner_a, arch_a), (owner_b, arch_b) = list(by_owner.items())[:2]
+    return (arch_a, owner_a), (arch_b, owner_b)
+
+
+def wait_terminal(fleet, job_id, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        status, record, _ = fleet.get(f"/v1/jobs/{job_id}")
+        if status == 200 and record["state"] in TERMINAL:
+            return record
+        assert time.monotonic() < deadline, (status, record)
+        time.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+def test_same_description_routes_to_the_same_shard(fleet_factory):
+    fleet = fleet_factory(count=3)
+    shards = set()
+    for _ in range(4):
+        status, record, _ = fleet.post_job(payload())
+        assert status == 202
+        shards.add(shard_of_job_id(record["id"]))
+    assert len(shards) == 1  # one candidate, one owner
+
+
+def test_distinct_descriptions_spread_and_follow_the_ranking(
+        fleet_factory):
+    fleet = fleet_factory(count=3)
+    for arch in ARCHS:
+        status, record, _ = fleet.post_job(payload(arch=arch))
+        assert status == 202
+        owner = shard_of_job_id(record["id"])
+        key = fleet.router._shard_key({"arch": arch})
+        assert owner == rendezvous_rank(key, fleet.table.ids())[0]
+
+
+def test_duplicate_submissions_coalesce_on_the_owning_shard(
+        fleet_factory):
+    gate = threading.Event()
+
+    def gated_eval(job):
+        gate.wait(5.0)
+        from ..serve.conftest import stub_evaluation
+        return stub_evaluation(job.label)
+
+    fleet = fleet_factory(count=2, evaluate_fn=gated_eval)
+    _, first, _ = fleet.post_job(payload())
+    _, second, _ = fleet.post_job(payload())
+    gate.set()
+    assert second.get("coalesced_with") == first["id"]
+    assert wait_terminal(fleet, first["id"])["state"] == "succeeded"
+    assert wait_terminal(fleet, second["id"])["state"] == "succeeded"
+
+
+def test_status_routes_by_job_id_prefix(fleet_factory):
+    fleet = fleet_factory(count=3)
+    status, record, _ = fleet.post_job(payload())
+    job_id = record["id"]
+    final = wait_terminal(fleet, job_id)
+    assert final["id"] == job_id
+    # the record really lives on the shard the prefix names
+    owner = fleet.service_for(job_id)
+    assert owner.job(job_id).to_dict()["state"] == "succeeded"
+
+
+def test_unknown_job_is_a_404(fleet_factory):
+    fleet = fleet_factory(count=2)
+    status, body, _ = fleet.get("/v1/jobs/sX-doesnotexist")
+    assert status == 404
+    assert "unknown job" in body["error"]
+
+
+def test_list_jobs_merges_shards(fleet_factory):
+    fleet = fleet_factory(count=2)
+    ids = []
+    for arch in ARCHS[:2]:
+        _, record, _ = fleet.post_job(payload(arch=arch))
+        ids.append(record["id"])
+    for job_id in ids:
+        wait_terminal(fleet, job_id)
+    status, listing, _ = fleet.get("/v1/jobs")
+    assert status == 200
+    listed = {job["id"] for job in listing["jobs"]}
+    assert set(ids) <= listed
+    assert all("shard" in job for job in listing["jobs"])
+
+
+# ----------------------------------------------------------------------
+# Verbatim passthrough
+# ----------------------------------------------------------------------
+
+
+def test_rejection_diagnostics_pass_through_verbatim(fleet_factory):
+    fleet = fleet_factory(count=2)
+    status, record, _ = fleet.post_job(payload(arch=None,
+                                               isdl="not isdl at all"))
+    assert status == 422
+    assert record["state"] == "rejected"
+    assert any(d["code"] == "ISDL001" for d in record["diagnostics"])
+
+
+def test_backpressure_429_and_retry_after_pass_through(fleet_factory):
+    gate = threading.Event()
+
+    def stuck_eval(job):
+        gate.wait(10.0)
+        from ..serve.conftest import stub_evaluation
+        return stub_evaluation(job.label)
+
+    fleet = fleet_factory(count=1, evaluate_fn=stuck_eval,
+                          workers=1, max_queue_depth=1, coalesce=False)
+    try:
+        fleet.post_job(payload())          # occupies the worker
+        fleet.post_job(payload())          # fills the queue
+        status, body, headers = fleet.post_job(payload())
+        assert status == 429
+        assert headers.get("Retry-After") == "1"  # the worker's header
+        assert "queue" in body["error"]
+    finally:
+        gate.set()
+
+
+def test_all_shards_down_is_503_with_retry_after(fleet_factory):
+    fleet = fleet_factory(count=2, fail_threshold=1)
+    fleet.kill_shard(0)
+    fleet.kill_shard(1)
+    status, body, headers = fleet.post_job(payload())
+    assert status == 503
+    assert "no healthy shard" in body["error"]
+    assert headers.get("Retry-After") == "2"
+    health = fleet.router.health()
+    assert health["status"] == "down"
+    counters = fleet.router.metrics_snapshot().counters
+    assert counters.get("cluster.unavailable") == 1
+
+
+# ----------------------------------------------------------------------
+# Dead-shard requeue
+# ----------------------------------------------------------------------
+
+
+def test_dead_shard_jobs_requeue_to_survivors(fleet_factory):
+    gate = threading.Event()
+
+    def gated_eval(job):
+        gate.wait(10.0)
+        from ..serve.conftest import stub_evaluation
+        return stub_evaluation(job.label)
+
+    fleet = fleet_factory(count=2, evaluate_fn=gated_eval,
+                          fail_threshold=2)
+    # park one job on each shard (pick archs the placement splits)
+    (arch_a, owner_a), (arch_b, _) = archs_on_different_shards(fleet)
+    records = {}
+    for arch in (arch_a, arch_b):
+        _, record, _ = fleet.post_job(payload(arch=arch))
+        records[arch] = record
+    assert shard_of_job_id(records[arch_a]["id"]) == owner_a
+
+    victim = owner_a
+    fleet.kill_shard(int(victim[1:]))
+    gate.set()
+    # two failed probes flip the shard down and trigger the requeue
+    fleet.router.monitor.probe_once()
+    fleet.router.monitor.probe_once()
+    assert not fleet.table.get(victim).healthy
+
+    original = records[arch_a]["id"]
+    final = wait_terminal(fleet, original)
+    # the client's id still resolves; the record says where it went
+    assert final["id"] == original
+    assert final["state"] == "succeeded"
+    requeued_to = final.get("requeued_to")
+    assert requeued_to is not None
+    assert shard_of_job_id(requeued_to) != victim
+    counters = fleet.router.metrics_snapshot().counters
+    assert counters.get("cluster.jobs_requeued", 0) >= 1
+    # the survivor's job was untouched
+    other = wait_terminal(fleet, records[arch_b]["id"])
+    assert other["state"] == "succeeded"
+    assert "requeued_to" not in other
+
+
+def test_inline_requeue_on_status_lookup(fleet_factory):
+    """A status poll that hits a down shard requeues right away instead
+    of making the client wait for the monitor's sweep."""
+    gate = threading.Event()
+
+    def gated_eval(job):
+        gate.wait(10.0)
+        from ..serve.conftest import stub_evaluation
+        return stub_evaluation(job.label)
+
+    fleet = fleet_factory(count=2, evaluate_fn=gated_eval,
+                          fail_threshold=1)
+    _, record, _ = fleet.post_job(payload())
+    victim = shard_of_job_id(record["id"])
+    fleet.kill_shard(int(victim[1:]))
+    gate.set()
+    # mark the shard down without running the requeue sweep
+    fleet.table.note_failure(victim, threshold=1)
+    final = wait_terminal(fleet, record["id"])
+    assert final["state"] == "succeeded"
+    assert shard_of_job_id(final["requeued_to"]) != victim
+
+
+def test_router_health_shape_matches_the_serve_contract(fleet_factory):
+    fleet = fleet_factory(count=2)
+    fleet.router.monitor.probe_once()
+    status, health, _ = fleet.get("/healthz")
+    assert status == 200
+    for field in ("status", "uptime_s", "workers", "queue_depth",
+                  "jobs", "counters"):
+        assert field in health
+    assert health["role"] == "router"
+    assert health["workers"] == 2
+    assert {s["id"] for s in health["shards"]} == {"s0", "s1"}
+
+
+def test_router_metrics_are_prometheus_text(fleet_factory):
+    import urllib.request
+
+    fleet = fleet_factory(count=1)
+    fleet.post_job(payload())
+    with urllib.request.urlopen(fleet.url + "/metrics",
+                                timeout=10.0) as response:
+        text = response.read().decode("utf-8")
+    assert "cluster_jobs_forwarded_total" in text

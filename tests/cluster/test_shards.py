@@ -1,0 +1,96 @@
+"""Rendezvous placement and the shard table."""
+
+from repro.cluster import ShardTable, rendezvous_rank
+
+SHARDS = [(f"s{i}", f"http://127.0.0.1:{8000 + i}") for i in range(4)]
+
+
+def keys(count=200):
+    return [f"fp-{index:04d}" for index in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Rendezvous ranking
+# ----------------------------------------------------------------------
+
+
+def test_ranking_is_deterministic_and_total():
+    ids = [sid for sid, _ in SHARDS]
+    for key in keys(20):
+        first = rendezvous_rank(key, ids)
+        assert rendezvous_rank(key, ids) == first
+        assert sorted(first) == sorted(ids)
+
+
+def test_removal_remaps_only_the_departed_shards_keys():
+    """The property that justifies rendezvous over modulo hashing: keys
+    whose owner survives a membership change stay put."""
+    ids = [sid for sid, _ in SHARDS]
+    before = {key: rendezvous_rank(key, ids)[0] for key in keys()}
+    survivors = [sid for sid in ids if sid != "s2"]
+    after = {key: rendezvous_rank(key, survivors)[0] for key in keys()}
+    for key, owner in before.items():
+        if owner != "s2":
+            assert after[key] == owner  # unaffected keys did not move
+        else:
+            assert after[key] != "s2"
+    # sanity: s2 owned a real share of the space
+    assert sum(1 for owner in before.values() if owner == "s2") > 10
+
+
+def test_keys_spread_over_all_shards():
+    ids = [sid for sid, _ in SHARDS]
+    owners = {rendezvous_rank(key, ids)[0] for key in keys()}
+    assert owners == set(ids)
+
+
+# ----------------------------------------------------------------------
+# The table
+# ----------------------------------------------------------------------
+
+
+def test_pick_returns_the_top_ranked_healthy_shard():
+    table = ShardTable(SHARDS)
+    for key in keys(20):
+        expected = rendezvous_rank(key, table.ids())[0]
+        assert table.pick(key).id == expected
+
+
+def test_pick_skips_unhealthy_shards():
+    table = ShardTable(SHARDS)
+    key = next(k for k in keys()
+               if rendezvous_rank(k, table.ids())[0] == "s1")
+    ranking = rendezvous_rank(key, table.ids())
+    # take s1 down: its keys fall to their second-ranked shard
+    table.note_failure("s1", threshold=1)
+    assert not table.get("s1").healthy
+    assert table.pick(key).id == ranking[1]
+    # exclusions compose with health
+    assert table.pick(key, exclude=(ranking[1],)).id == ranking[2]
+
+
+def test_pick_returns_none_with_no_healthy_shard():
+    table = ShardTable(SHARDS[:2])
+    table.note_failure("s0", threshold=1)
+    table.note_failure("s1", threshold=1)
+    assert table.pick("anything") is None
+
+
+def test_note_failure_flips_down_only_at_threshold():
+    table = ShardTable(SHARDS[:1])
+    assert table.note_failure("s0", threshold=3) is False
+    assert table.note_failure("s0", threshold=3) is False
+    assert table.note_failure("s0", threshold=3) is True  # the flip
+    assert table.note_failure("s0", threshold=3) is False  # already down
+
+
+def test_note_success_revives_and_records_depth():
+    table = ShardTable(SHARDS[:1])
+    table.note_failure("s0", threshold=1)
+    revived = table.note_success("s0", queue_depth=7,
+                                 job_states={"queued": 7})
+    assert revived is True
+    info = table.get("s0")
+    assert info.healthy and info.queue_depth == 7
+    assert info.job_states == {"queued": 7}
+    assert table.note_success("s0") is False  # already up

@@ -12,6 +12,7 @@ from repro.serve.jobs import (
     QueueFullError,
     ServiceUnavailableError,
     new_job_id,
+    shard_of_job_id,
 )
 
 WEIGHTS = CostWeights(1.0, 0.35, 0.25)
@@ -83,6 +84,46 @@ def test_requeue_bypasses_the_bound():
     assert len(queue) == 2
 
 
+def test_requeue_keeps_the_original_sequence_number():
+    """A retried job must not starve behind later same-priority
+    arrivals: its first-accepted seq travels with it through requeues."""
+    queue = JobQueue()
+    first = make_job("first")
+    queue.push(first)
+    popped = queue.pop_batch(1)[0]
+    assert popped is first and first.seq is not None
+    original_seq = first.seq
+    # later arrivals at the same priority while 'first' is being retried
+    queue.push(make_job("later-1"))
+    queue.push(make_job("later-2"))
+    # requeue with a short retry backoff (the crash-retry path)
+    queue.push(first, enforce_bound=False,
+               not_before=time.monotonic() + 0.05)
+    assert first.seq == original_seq
+    # while the backoff holds, a later arrival may run (work
+    # conservation)...
+    assert queue.pop_batch(1)[0].label == "later-1"
+    time.sleep(0.06)
+    # ...but once matured, the retry pops before anything that arrived
+    # after it — its original seq still outranks later-2's
+    batch = queue.pop_batch(1, timeout=1.0)
+    assert batch[0].label == "first", \
+        f"requeued job starved behind {batch[0].label!r}"
+    assert batch[0].seq == original_seq
+    assert queue.pop_batch(1)[0].label == "later-2"
+
+
+def test_requeued_job_still_matures_after_backoff():
+    queue = JobQueue()
+    job = make_job("retry")
+    queue.push(job)
+    queue.pop_batch(1)
+    queue.push(job, enforce_bound=False,
+               not_before=time.monotonic() + 0.05)
+    assert queue.pop_batch(1, timeout=0.01) is None  # backoff holds
+    assert queue.pop_batch(1, timeout=1.0)[0] is job
+
+
 def test_depth_bound_must_be_positive():
     with pytest.raises(ValueError):
         JobQueue(max_depth=0)
@@ -145,6 +186,13 @@ def test_job_state_terminality():
 
 def test_job_ids_are_unique():
     assert len({new_job_id() for _ in range(100)}) == 100
+
+
+def test_shard_scoped_job_ids_round_trip():
+    job_id = new_job_id("s3")
+    assert job_id.startswith("s3-")
+    assert shard_of_job_id(job_id) == "s3"
+    assert shard_of_job_id(new_job_id()) is None
 
 
 def test_config_key_ignores_priority_and_timeout():
