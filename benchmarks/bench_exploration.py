@@ -9,6 +9,7 @@ cache-backed evaluation engine over the seed's serial from-scratch path —
 with bit-true identical trajectories.
 """
 
+import os
 import time
 
 import pytest
@@ -19,8 +20,16 @@ from repro import obs
 from repro.arch import description_for
 from repro.cache import ArtifactCache
 from repro.codegen import Cond, KernelBuilder, Opcode
-from repro.explore import CostWeights, Explorer, ParallelEvaluator
+from repro.explore import (
+    CostWeights,
+    Explorer,
+    ParallelEvaluator,
+    evaluate,
+    transforms,
+)
 from repro.isdl import fingerprint
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def _kernels():
@@ -177,3 +186,110 @@ def test_parallel_engine_speedup(benchmark):
         "cache_misses": cache.stats.misses,
         "cache_hit_rate": cache.stats.hit_rate,
     })
+
+
+def _loop_kernel(n, name="sum"):
+    K = KernelBuilder(name)
+    cnt = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return K.build()
+
+
+def test_incremental_reevaluation_speedup(benchmark):
+    """Cold vs incremental vs exact-warm for one local mutation.
+
+    The steady state of an exploration sweep is "re-measure a child that
+    differs from its parent by one transform".  With the parent threaded
+    through, the fingerprint delta lets the pipeline rebuild only the
+    touched units and adopt the parent's simulation outright (the
+    mutation drops an operation the kernels never execute).  The
+    incremental tier must be ≥3x faster than cold while producing an
+    identical evaluation; exact-warm (same fingerprint again) is a pure
+    lookup and must beat both.
+    """
+    # The equal-to-cold debug net would re-run every timed incremental
+    # evaluation cold and flatten the very speedup being measured —
+    # strip it for the timing section, exercise it once at the end.
+    check_flag = os.environ.pop("REPRO_INCREMENTAL_CHECK", None)
+
+    iterations = 400 if SMOKE else 2000
+    kernels = [_loop_kernel(iterations)]
+    parent = description_for("risc16")
+    parent_eval = evaluate(parent, kernels)
+
+    child = None
+    for fname, oname in sorted(parent_eval.stats.unused_operations(parent)):
+        candidate = transforms.drop_operation(parent, fname, oname)
+        if evaluate(candidate, kernels).feasible:
+            child = candidate
+            break
+    assert child is not None, "no droppable unused operation"
+
+    cold_s = min(
+        _timed(lambda: evaluate(child, kernels))[1] for _ in range(3)
+    )
+    cold = evaluate(child, kernels)
+
+    def warmed_cache():
+        cache = ArtifactCache()
+        evaluate(parent, kernels, cache=cache)
+        return (cache,), {}
+
+    def reevaluate(cache):
+        return evaluate(child, kernels, cache=cache, parent=parent)
+
+    incr = benchmark.pedantic(
+        reevaluate, setup=warmed_cache, rounds=3, iterations=1
+    )
+    incr_s = benchmark.stats.stats.min
+
+    # exact-warm: the child's whole evaluation is now memoized
+    cache = warmed_cache()[0][0]
+    reevaluate(cache)
+    warm, warm_s = _timed(lambda: reevaluate(cache))
+
+    for field in ("feasible", "cycles", "stall_cycles", "cycle_ns",
+                  "die_size", "power_mw", "verilog_lines"):
+        assert getattr(incr, field) == getattr(cold, field), field
+        assert getattr(warm, field) == getattr(cold, field), field
+    assert cache.stats.incremental_builds["sim"] >= 1  # sim adopted
+
+    speedup = cold_s / incr_s
+    record(
+        "Incremental re-evaluation (fingerprint-delta reuse)",
+        f"- single local mutation on RISC16 ({iterations}-iteration"
+        f" kernel): cold {cold_s * 1000:.0f} ms, incremental"
+        f" {incr_s * 1000:.1f} ms (**{speedup:.1f}x**), exact-warm"
+        f" {warm_s * 1000:.2f} ms",
+    )
+    assert speedup >= 3.0, f"incremental tier regressed: {speedup:.2f}x"
+    assert warm_s < incr_s
+
+    # one run through the equal-to-cold debug net (asserts internally)
+    if check_flag is not None:
+        os.environ["REPRO_INCREMENTAL_CHECK"] = check_flag
+        checked = reevaluate(warmed_cache()[0][0])
+        assert checked.cycles == cold.cycles
+
+    record_json("exploration_incremental", {
+        "config": {"arch": "risc16", "kernel_iterations": iterations,
+                   "mutation": child.name, "smoke": SMOKE},
+        "cold_seconds": cold_s,
+        "incremental_seconds": incr_s,
+        "exact_warm_seconds": warm_s,
+        "incremental_speedup": speedup,
+        "sim_adoptions": cache.stats.incremental_builds["sim"],
+        "units_reused": dict(cache.stats.units_reused),
+        "units_rebuilt": dict(cache.stats.units_rebuilt),
+    })
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - start

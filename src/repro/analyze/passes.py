@@ -67,10 +67,11 @@ class PassContext:
 
     def __init__(self, desc: ast.Description,
                  table: Optional[SignatureTable] = None,
-                 cache=None, fp: Optional[str] = None):
+                 cache=None, fp: Optional[str] = None, parent=None):
         self.desc = desc
         self.cache = cache
         self.fp = fp
+        self.parent = parent
         self._table = table
 
     @property
@@ -79,7 +80,9 @@ class PassContext:
         (through the artifact cache when one is attached)."""
         if self._table is None:
             if self.cache is not None:
-                self._table = self.cache.signature_table(self.desc, self.fp)
+                self._table = self.cache.signature_table(
+                    self.desc, self.fp, parent=self.parent
+                )
             else:
                 self._table = SignatureTable(self.desc)
         return self._table
@@ -601,7 +604,8 @@ def pass_named(name: str) -> AnalysisPass:
 def analyze(desc: ast.Description, *,
             passes: Optional[Sequence[AnalysisPass]] = None,
             table: Optional[SignatureTable] = None,
-            cache=None, fp: Optional[str] = None) -> AnalysisResult:
+            cache=None, fp: Optional[str] = None,
+            parent=None) -> AnalysisResult:
     """Run the semantic stage plus every (selected) pass over *desc*.
 
     A description with error-severity semantic diagnostics gets only the
@@ -619,7 +623,8 @@ def analyze(desc: ast.Description, *,
             d.severity is not Severity.ERROR for d in diagnostics
         )
         if well_formed:
-            ctx = PassContext(desc, table=table, cache=cache, fp=fp)
+            ctx = PassContext(desc, table=table, cache=cache, fp=fp,
+                              parent=parent)
             for analysis in selected:
                 with obs.span("analyze.pass", analysis=analysis.name):
                     try:
@@ -639,19 +644,22 @@ def analyze(desc: ast.Description, *,
 
 def check_static(desc: ast.Description, *,
                  cache=None,
-                 passes: Optional[Sequence[AnalysisPass]] = None
-                 ) -> AnalysisResult:
+                 passes: Optional[Sequence[AnalysisPass]] = None,
+                 parent=None) -> AnalysisResult:
     """Analyze *desc*, memoized by its structural fingerprint.
 
     This is the validity gate the exploration engine calls per candidate:
     with an :class:`~repro.cache.ArtifactCache` attached the analysis runs
-    once per distinct description and warm sweeps pay a lookup.
+    once per distinct description and warm sweeps pay a lookup.  *parent*
+    is the incremental-build hint threaded through to the shared
+    signature table (see :meth:`repro.cache.ArtifactCache.signature_table`).
     """
     if cache is None:
         return analyze(desc, passes=passes)
     fp = fingerprint(desc)
     return cache.analysis(
         desc,
-        lambda: analyze(desc, passes=passes, cache=cache, fp=fp),
+        lambda: analyze(desc, passes=passes, cache=cache, fp=fp,
+                        parent=parent),
         fp=fp,
     )

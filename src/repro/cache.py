@@ -83,6 +83,12 @@ class CacheStats:
     lease_breaks: int = 0
     hits_by_kind: Counter = field(default_factory=Counter)
     misses_by_kind: Counter = field(default_factory=Counter)
+    #: artifacts built incrementally off a parent, per kind
+    incremental_builds: Counter = field(default_factory=Counter)
+    #: sub-units (rows, routines, node groups, ...) carried over, per kind
+    units_reused: Counter = field(default_factory=Counter)
+    #: sub-units rebuilt during incremental builds, per kind
+    units_rebuilt: Counter = field(default_factory=Counter)
 
     @property
     def lookups(self) -> int:
@@ -109,6 +115,15 @@ class CacheStats:
                 f"  {kind:12s} {self.hits_by_kind[kind]:5d} hit"
                 f" {self.misses_by_kind[kind]:5d} miss"
             )
+        if self.incremental_builds:
+            lines.append("incremental:")
+            for kind in sorted(self.incremental_builds):
+                lines.append(
+                    f"  {kind:12s} {self.incremental_builds[kind]:5d}"
+                    f" build{'' if self.incremental_builds[kind] == 1 else 's'}"
+                    f" ({self.units_reused[kind]} units reused,"
+                    f" {self.units_rebuilt[kind]} rebuilt)"
+                )
         return "\n".join(lines)
 
 
@@ -390,51 +405,158 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def description_fingerprint(self, desc) -> str:
-        """Fingerprint a description (uncached; printing is cheap)."""
+        """Fingerprint a description (memoized per AST object)."""
         from .isdl import fingerprint
 
         return fingerprint(desc)
 
-    def signature_table(self, desc, fp: Optional[str] = None):
-        """Memoized :class:`~repro.encoding.signature.SignatureTable`."""
+    @staticmethod
+    def _parent_delta(parent, child):
+        """FingerprintDelta parent → child, or None without a parent."""
+        if parent is None:
+            return None
+        from .isdl.fingerprint import fingerprint_delta
+
+        return fingerprint_delta(parent, child)
+
+    def note_incremental(self, kind: str, counts: Dict[str, int]) -> None:
+        """Fold a builder's per-unit reuse counts into the stats.
+
+        *counts* is the ``reuse_counts`` attribute incremental builders
+        expose: keys ending in ``reused``/``copied`` count carried-over
+        units, keys ending in ``rebuilt``/``computed``/``partitioned``
+        count rebuilt ones.
+        """
+        reused = sum(v for k, v in counts.items()
+                     if k.endswith(("reused", "copied")))
+        rebuilt = sum(v for k, v in counts.items()
+                      if k.endswith(("rebuilt", "computed", "partitioned")))
+        with self._lock:
+            self.stats.incremental_builds[kind] += 1
+            self.stats.units_reused[kind] += reused
+            self.stats.units_rebuilt[kind] += rebuilt
+        obs.add("cache.incremental.builds")
+        obs.add(f"cache.incremental.{kind}.reused", reused)
+        obs.add(f"cache.incremental.{kind}.rebuilt", rebuilt)
+
+    def signature_table(self, desc, fp: Optional[str] = None, *,
+                        parent=None):
+        """Memoized :class:`~repro.encoding.signature.SignatureTable`.
+
+        With *parent* (the description this one was mutated from) a miss
+        builds incrementally: rows of delta-unchanged operations are
+        carried over from the parent's cached table when it is present.
+        """
         from .encoding.signature import SignatureTable
 
         fp = fp or self.description_fingerprint(desc)
-        return self.get_or_build(
-            "sigtable", fp, lambda: SignatureTable(desc)
-        )
 
-    def fast_core(self, desc, fp: Optional[str] = None):
+        def build():
+            parent_table = (
+                self.peek("sigtable", self.description_fingerprint(parent))
+                if parent is not None else None
+            )
+            if parent_table is None:
+                return SignatureTable(desc)
+            delta = self._parent_delta(parent, desc)
+            table = SignatureTable(desc, reuse_from=(parent_table, delta))
+            self.note_incremental("sigtable", table.reuse_counts)
+            return table
+
+        return self.get_or_build("sigtable", fp, build)
+
+    def fast_core(self, desc, fp: Optional[str] = None, *, parent=None):
         """Memoized :class:`~repro.gensim.fastcore.FastCore`.
 
         A FastCore is stateless between runs (it only caches compiled
         per-operation routines), so one instance serves every simulator
-        generated for the same description.
+        generated for the same description.  With *parent*, a miss adopts
+        the parent core's compiled routines for delta-unchanged
+        operations instead of recompiling them on first dispatch.
         """
         from .gensim.fastcore import FastCore
 
         fp = fp or self.description_fingerprint(desc)
-        return self.get_or_build("fastcore", fp, lambda: FastCore(desc))
+
+        def build():
+            parent_core = (
+                self.peek("fastcore", self.description_fingerprint(parent))
+                if parent is not None else None
+            )
+            if parent_core is None:
+                return FastCore(desc)
+            delta = self._parent_delta(parent, desc)
+            core = FastCore(desc, reuse_from=(parent_core, delta))
+            self.note_incremental("fastcore", core.reuse_counts)
+            return core
+
+        return self.get_or_build("fastcore", fp, build)
 
     def assembled(self, desc, kernel, builder: Callable[[], Any],
-                  fp: Optional[str] = None):
-        """Memoized assembled workload binary for (description, kernel)."""
+                  fp: Optional[str] = None, *, parent=None):
+        """Memoized assembled workload binary for (description, kernel).
+
+        With *parent*, a miss first checks whether the parent's cached
+        program for the same kernel is still valid — the delta must prove
+        the whole instruction set, encoding environment, storages, and
+        constraints unchanged (:attr:`FingerprintDelta.assembly_reusable`)
+        — and adopts it without re-running the assembler.
+        """
         fp = fp or self.description_fingerprint(desc)
+
+        def build():
+            if parent is not None:
+                parent_program = self.peek(
+                    "program",
+                    (self.description_fingerprint(parent),
+                     kernel_fingerprint(kernel)),
+                )
+                if parent_program is not None:
+                    delta = self._parent_delta(parent, desc)
+                    if delta.assembly_reusable:
+                        self.note_incremental("program", {"reused": 1})
+                        return parent_program
+            return builder()
+
         return self.get_or_build(
-            "program", (fp, kernel_fingerprint(kernel)), builder
+            "program", (fp, kernel_fingerprint(kernel)), build
         )
 
     def synthesized(self, desc, fp: Optional[str] = None, *,
-                    share: bool = True, use_constraints: bool = True):
-        """Memoized :func:`repro.hgen.synthesize` hardware model."""
+                    share: bool = True, use_constraints: bool = True,
+                    parent=None):
+        """Memoized :func:`repro.hgen.synthesize` hardware model.
+
+        With *parent*, a miss synthesizes incrementally off the parent's
+        cached model (same *share*/*use_constraints* key): unchanged
+        operations keep their extracted nodes, stable compatibility-matrix
+        entries are copied, and per-component clique partitions are reused
+        by structural digest.
+        """
         from .hgen import synthesize
 
         fp = fp or self.description_fingerprint(desc)
-        return self.get_or_build(
-            "synth", (fp, share, use_constraints),
-            lambda: synthesize(desc, share=share,
-                               use_constraints=use_constraints),
-        )
+
+        def build():
+            reuse_from = None
+            if parent is not None:
+                parent_model = self.peek(
+                    "synth",
+                    (self.description_fingerprint(parent), share,
+                     use_constraints),
+                )
+                if parent_model is not None:
+                    reuse_from = (
+                        parent_model, self._parent_delta(parent, desc)
+                    )
+            model = synthesize(desc, share=share,
+                               use_constraints=use_constraints,
+                               reuse_from=reuse_from)
+            if reuse_from is not None:
+                self.note_incremental("synth", model.reuse_counts)
+            return model
+
+        return self.get_or_build("synth", (fp, share, use_constraints), build)
 
     def block_table(self, desc, words, origin: int,
                     builder: Callable[[], Any],
@@ -450,6 +572,18 @@ class ArtifactCache:
         return self.get_or_build(
             "blocktable", (fp, tuple(words), origin), builder
         )
+
+    def peek_block_table(self, desc, words, origin: int,
+                         fp: Optional[str] = None):
+        """Non-counting lookup of a cached block table; None on miss.
+
+        Used by the block simulator to find the *parent* candidate's
+        table for the same program so delta-unchanged compiled blocks can
+        be adopted instead of recompiled (see
+        :meth:`repro.gensim.blocksim.BlockSimulator.load_words`).
+        """
+        fp = fp or self.description_fingerprint(desc)
+        return self.peek("blocktable", (fp, tuple(words), origin))
 
     def evaluation(self, key: Hashable, builder: Callable[[], Any]):
         """Memoized whole-candidate evaluation (see explore.metrics)."""

@@ -261,11 +261,15 @@ class Explorer:
     # ------------------------------------------------------------------
 
     def evaluate(self, desc: ast.Description, *args,
-                 derived_by: str = "initial") -> Candidate:
+                 derived_by: str = "initial",
+                 parent: Optional[ast.Description] = None) -> Candidate:
         """Measure one candidate description.
 
         *derived_by* is keyword-only; the old positional form still
-        works for one release but warns with the new spelling.
+        works for one release but warns with the new spelling.  *parent*
+        names the description this one was mutated from — a pure
+        optimization hint that lets a cache miss reuse the parent's
+        artifacts (see :func:`repro.explore.metrics.evaluate`).
         """
         if args:
             warnings.warn(
@@ -280,7 +284,7 @@ class Explorer:
                     f" options; got {1 + len(args)} positional arguments"
                 )
             derived_by = args[0]
-        evaluation = self.evaluator.evaluate(desc)
+        evaluation = self.evaluator.evaluate(desc, parent=parent)
         return Candidate(desc, evaluation, derived_by)
 
     def explore(self, initial: Optional[ast.Description] = None, *args,

@@ -17,7 +17,8 @@ tool-chain run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import os
+from dataclasses import dataclass, field, fields as dc_fields, replace
 from typing import Dict, List, Optional, Sequence
 
 from .. import obs
@@ -25,10 +26,17 @@ from ..cache import ArtifactCache, kernel_fingerprint
 from ..codegen import Compiler
 from ..codegen.ir import Kernel
 from ..errors import CodegenError, ReproError
+from ..encoding.signature import decode_preserved
 from ..gensim.stats import SimulationStats
 from ..gensim.xsim import XSim
 from ..hgen import estimate_power
 from ..isdl import ast, fingerprint
+from ..isdl.fingerprint import fingerprint_delta
+
+#: When set (to anything non-empty), every evaluation that reused parent
+#: artifacts is re-run cold and the two results are assert-compared —
+#: the debug net under the incremental tier's equal-to-cold invariant.
+INCREMENTAL_CHECK_ENV = "REPRO_INCREMENTAL_CHECK"
 
 
 @dataclass
@@ -112,6 +120,7 @@ def evaluate(
     cache: Optional[ArtifactCache] = None,
     sim_backend: str = "xsim",
     memoize: bool = True,
+    parent: Optional[ast.Description] = None,
 ) -> Evaluation:
     """Run the full Figure-1 measurement pipeline on one candidate.
 
@@ -132,6 +141,17 @@ def evaluate(
     caches (signature tables, cores, programs, synthesis) but always
     re-runs the measurement itself — what the evaluation service's
     no-dedup baseline and simulator-noise studies need.
+
+    *parent* (keyword-only) names the description this candidate was
+    mutated from.  It changes nothing about *what* is computed — cache
+    keys and results are identical with or without it — but on a cache
+    miss the pipeline builds artifacts *incrementally* off the parent's
+    cached ones: signature rows, compiled simulator routines and blocks,
+    hardware sub-structures, assembled programs, and whole simulation
+    results are carried over wherever the fingerprint delta proves the
+    relevant description units byte-identical.  Set the
+    ``REPRO_INCREMENTAL_CHECK`` environment variable to re-run every
+    parent-assisted evaluation cold and assert the results equal.
     """
     label = name or desc.name
     if cache is None:
@@ -143,19 +163,34 @@ def evaluate(
         if not memoize:
             return _evaluate_uncached(desc, kernels, max_steps, label,
                                       weights, cache=cache, fp=fp,
-                                      sim_backend=sim_backend)
+                                      sim_backend=sim_backend, parent=parent)
         key = evaluation_key(desc, kernels, max_steps, fp, sim_backend)
         evaluation = cache.evaluation(
             key,
             lambda: _evaluate_uncached(desc, kernels, max_steps, label,
                                        weights, cache=cache, fp=fp,
-                                       sim_backend=sim_backend),
+                                       sim_backend=sim_backend,
+                                       parent=parent),
         )
     # A hit may carry another run's label/weights; normalize without
     # touching the cached instance.
     if evaluation.name != label or evaluation.weights != weights:
         evaluation = replace(evaluation, name=label, weights=weights)
     return evaluation
+
+
+def _copy_stats(stats: SimulationStats) -> SimulationStats:
+    """A merge-safe copy: fresh counters/dicts, scalar fields shared.
+
+    Simulation results now live in the artifact cache (the ``"sim"``
+    kind), so the stats merge below must never mutate the instance it was
+    handed — the next evaluation of the same candidate reads it again.
+    """
+    values = {}
+    for fld in dc_fields(stats):
+        value = getattr(stats, fld.name)
+        values[fld.name] = value.copy() if hasattr(value, "copy") else value
+    return type(stats)(**values)
 
 
 def _evaluate_uncached(
@@ -167,14 +202,20 @@ def _evaluate_uncached(
     cache: Optional[ArtifactCache] = None,
     fp: Optional[str] = None,
     sim_backend: str = "xsim",
+    parent: Optional[ast.Description] = None,
+    _checked: bool = False,
 ) -> Evaluation:
     fp = fp or (fingerprint(desc) if cache is not None else "")
+    if (parent is not None and not _checked
+            and os.environ.get(INCREMENTAL_CHECK_ENV)):
+        return _checked_incremental(desc, kernels, max_steps, label, weights,
+                                    cache, fp, sim_backend, parent)
     # 1. Retarget the compiler; an unfit ISA is a legitimate negative result.
     try:
         compiler = Compiler(desc)
         if cache is None:
             programs = [
-                (kernel.name, compiler.compile_to_words(kernel))
+                (kernel.name, compiler.compile_to_words(kernel), None)
                 for kernel in kernels
             ]
         else:
@@ -184,8 +225,9 @@ def _evaluate_uncached(
                     cache.assembled(
                         desc, kernel,
                         lambda k=kernel: compiler.compile_to_words(k),
-                        fp=fp,
+                        fp=fp, parent=parent,
                     ),
+                    kernel_fingerprint(kernel),
                 )
                 for kernel in kernels
             ]
@@ -195,26 +237,62 @@ def _evaluate_uncached(
     # 2. Simulate every kernel on the generated ILS.  The signature table
     #    and the fast core are pure functions of the description, so with a
     #    cache they are generated once and shared by every simulator.
-    table = cache.signature_table(desc, fp) if cache is not None else None
-    core = cache.fast_core(desc, fp) if cache is not None else "generated"
+    table = (cache.signature_table(desc, fp, parent=parent)
+             if cache is not None else None)
+    core = (cache.fast_core(desc, fp, parent=parent)
+            if cache is not None else "generated")
+    delta = parent_fp = None
+    if cache is not None and parent is not None:
+        delta = fingerprint_delta(parent, desc)
+        parent_fp = cache.description_fingerprint(parent)
     total_cycles = 0
     total_stalls = 0
     merged_stats: Optional[SimulationStats] = None
     per_kernel: Dict[str, int] = {}
-    for kernel_name, program in programs:
-        if sim_backend == "xsim":
-            sim = XSim(desc, table=table, core=core)
-        elif sim_backend == "block":
-            from ..gensim.blocksim import BlockSimulator
+    for kernel_name, program, kfp in programs:
 
-            sim = BlockSimulator(desc, table=table, cache=cache)
-        else:
-            from ..gensim.protocol import simulator_for
+        def run_kernel(program=program, kfp=kfp) -> SimulationStats:
+            # Sim-result adoption: with the whole simulation environment
+            # (format, tokens, NTs, storages, fields, attributes) proved
+            # unchanged, the identical program decoding to identical
+            # operations must execute identically — adopt the parent's
+            # cached result without running a single instruction.
+            if delta is not None and delta.sim_env_unchanged:
+                parent_stats = cache.peek(
+                    "sim", (parent_fp, kfp, max_steps, sim_backend)
+                )
+                parent_program = cache.peek("program", (parent_fp, kfp))
+                if (
+                    parent_stats is not None
+                    and parent_program is not None
+                    and list(parent_program.words) == list(program.words)
+                    and parent_program.origin == program.origin
+                    and decode_preserved(table, desc, program.words, delta)
+                ):
+                    obs.add("explore.sim_reused")
+                    cache.note_incremental("sim", {"reused": 1})
+                    return parent_stats
+            if sim_backend == "xsim":
+                sim = XSim(desc, table=table, core=core)
+            elif sim_backend == "block":
+                from ..gensim.blocksim import BlockSimulator
 
-            sim = simulator_for(desc, sim_backend, table=table)
-        try:
+                sim = BlockSimulator(desc, table=table, cache=cache,
+                                     parent=parent)
+            else:
+                from ..gensim.protocol import simulator_for
+
+                sim = simulator_for(desc, sim_backend, table=table)
             sim.load_words(program.words, program.origin)
-            stats = sim.run_to_completion(max_steps)
+            return sim.run_to_completion(max_steps)
+
+        try:
+            if cache is not None:
+                stats = cache.get_or_build(
+                    "sim", (fp, kfp, max_steps, sim_backend), run_kernel
+                )
+            else:
+                stats = run_kernel()
         except ReproError as exc:
             # e.g. the program no longer fits a shrunken instruction
             # memory, or it fails to halt on this candidate
@@ -227,7 +305,7 @@ def _evaluate_uncached(
         total_cycles += stats.cycles
         total_stalls += stats.stall_cycles
         if merged_stats is None:
-            merged_stats = stats
+            merged_stats = _copy_stats(stats)
         else:
             merged_stats.cycles += 0  # totals tracked separately
             merged_stats.op_counts.update(stats.op_counts)
@@ -239,7 +317,7 @@ def _evaluate_uncached(
 
         model = synthesize(desc)
     else:
-        model = cache.synthesized(desc, fp)
+        model = cache.synthesized(desc, fp, parent=parent)
     with obs.span("hgen.power"):
         power = estimate_power(
             desc, model.netlist, model.clock_mhz, stats=merged_stats,
@@ -261,3 +339,45 @@ def _evaluate_uncached(
         weights=weights,
         fingerprint=fp,
     )
+
+
+#: Evaluation fields the equal-to-cold debug check compares (everything
+#: deterministic; synthesis_seconds is wall-clock and excluded).
+_CHECK_FIELDS = (
+    "feasible", "reason", "cycles", "stall_cycles", "cycle_ns",
+    "die_size", "core_die_size", "power_mw", "verilog_lines",
+    "per_kernel_cycles",
+)
+
+
+def _checked_incremental(
+    desc: ast.Description,
+    kernels: Sequence[Kernel],
+    max_steps: int,
+    label: str,
+    weights: Optional[CostWeights],
+    cache: Optional[ArtifactCache],
+    fp: str,
+    sim_backend: str,
+    parent: ast.Description,
+) -> Evaluation:
+    """Run incrementally *and* cold, assert-compare, return the incremental.
+
+    The debug net behind ``REPRO_INCREMENTAL_CHECK``: every
+    parent-assisted evaluation is shadowed by a from-scratch one (no
+    cache, no parent) and any metric divergence raises.
+    """
+    incremental = _evaluate_uncached(desc, kernels, max_steps, label,
+                                     weights, cache=cache, fp=fp,
+                                     sim_backend=sim_backend, parent=parent,
+                                     _checked=True)
+    cold = _evaluate_uncached(desc, kernels, max_steps, label, weights,
+                              sim_backend=sim_backend)
+    for name in _CHECK_FIELDS:
+        got, want = getattr(incremental, name), getattr(cold, name)
+        if got != want:
+            raise AssertionError(
+                f"incremental evaluation diverged from cold build on"
+                f" {name!r}: {got!r} != {want!r} (candidate {label!r})"
+            )
+    return incremental

@@ -54,6 +54,11 @@ class EvalRequest:
     #: the exploration trajectory this measurement belongs to (set by
     #: multi-trajectory strategies; ignored by the evaluator itself)
     tag: Optional[str] = None
+    #: the description this candidate was mutated from; purely an
+    #: optimization hint — on a cache miss the pipeline reuses the
+    #: parent's cached artifacts wherever the fingerprint delta proves
+    #: them unchanged (results are identical with or without it)
+    parent: Optional[ast.Description] = None
 
     @property
     def display_label(self) -> str:
@@ -108,9 +113,11 @@ def _pool_init(kernels: Sequence[Kernel], max_steps: int,
 
 
 def _pool_evaluate(index: int, desc: ast.Description,
-                   label: str) -> Tuple[int, Optional[Evaluation],
-                                        Optional[str],
-                                        Optional[MetricsSnapshot]]:
+                   label: str,
+                   parent: Optional[ast.Description] = None,
+                   ) -> Tuple[int, Optional[Evaluation],
+                              Optional[str],
+                              Optional[MetricsSnapshot]]:
     error: Optional[str] = None
     evaluation: Optional[Evaluation] = None
     with obs.capture() as cap:
@@ -124,6 +131,7 @@ def _pool_evaluate(index: int, desc: ast.Description,
                 cache=_WORKER_STATE["cache"],
                 sim_backend=_WORKER_STATE.get("sim_backend", "xsim"),
                 memoize=_WORKER_STATE.get("memoize", True),
+                parent=parent,
             )
         except Exception as exc:  # noqa: BLE001 — failure capture is the point
             error = _format_error(exc)
@@ -172,12 +180,14 @@ class ParallelEvaluator:
     # ------------------------------------------------------------------
 
     def evaluate(self, desc: ast.Description,
-                 label: Optional[str] = None) -> Evaluation:
+                 label: Optional[str] = None,
+                 parent: Optional[ast.Description] = None) -> Evaluation:
         """Measure a single candidate inline (exceptions propagate)."""
         return evaluate(
             desc, self.kernels, self.max_steps,
             name=label, weights=self.weights, cache=self.cache,
             sim_backend=self.sim_backend, memoize=self.memoize,
+            parent=parent,
         )
 
     def evaluate_many(
@@ -260,7 +270,8 @@ class ParallelEvaluator:
         from ..analyze import check_static
 
         try:
-            analysis = check_static(request.desc, cache=self.cache)
+            analysis = check_static(request.desc, cache=self.cache,
+                                    parent=request.parent)
         except Exception:  # malformed candidate: let dispatch record it
             return None
         if analysis.ok():
@@ -305,7 +316,8 @@ class ParallelEvaluator:
         evaluation = error = None
         with obs.capture() as cap:
             try:
-                evaluation = self.evaluate(request.desc, label)
+                evaluation = self.evaluate(request.desc, label,
+                                           parent=request.parent)
             except Exception as exc:  # noqa: BLE001 — failure capture
                 error = _format_error(exc)
         if error is not None:
@@ -332,7 +344,7 @@ class ParallelEvaluator:
                 futures.append(
                     (index, request,
                      pool.submit(_pool_evaluate, index, request.desc,
-                                 label))
+                                 label, request.parent))
                 )
         except (BrokenExecutor, OSError, ValueError):
             self.shutdown()

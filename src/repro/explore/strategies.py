@@ -136,7 +136,8 @@ class Greedy(Strategy):
 
     def propose(self) -> List[EvalRequest]:
         return [
-            EvalRequest(desc, derived_by, tag=self.trajectory.label)
+            EvalRequest(desc, derived_by, tag=self.trajectory.label,
+                        parent=self.incumbent.desc)
             for desc, derived_by in self.context.propose_from(self.incumbent)
         ]
 
@@ -280,10 +281,12 @@ class MultiStart(Strategy):
         if self.seeding:
             desc, derived_by = self.seed
             return [EvalRequest(desc, derived_by,
-                                tag=self.trajectory.label)]
+                                tag=self.trajectory.label,
+                                parent=self.context.initial.desc)]
         assert self.incumbent is not None
         return [
-            EvalRequest(desc, derived_by, tag=self.trajectory.label)
+            EvalRequest(desc, derived_by, tag=self.trajectory.label,
+                        parent=self.incumbent.desc)
             for desc, derived_by in self.context.propose_from(self.incumbent)
         ]
 
@@ -357,7 +360,8 @@ class Population(Strategy):
                 batch_seen.add(print_key)
                 requests.append(
                     EvalRequest(desc, derived_by,
-                                tag=self.trajectory.label)
+                                tag=self.trajectory.label,
+                                parent=parent.desc)
                 )
         return requests
 
@@ -447,7 +451,8 @@ class ParetoFrontier(Strategy):
                 batch_seen.add(print_key)
                 requests.append(
                     EvalRequest(desc, derived_by,
-                                tag=self.trajectory.label)
+                                tag=self.trajectory.label,
+                                parent=parent.desc)
                 )
         return requests
 

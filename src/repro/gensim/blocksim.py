@@ -41,6 +41,7 @@ from .. import obs
 from ..encoding.bits import mask, set_bits
 from ..errors import ReproError, SimulationError
 from ..isdl import ast, rtl
+from ..isdl.fingerprint import fingerprint_delta
 from .cfg import ControlFlowAnalyzer, block_span
 from .compiled import CompiledSimulator, _make_commit
 from .core import INTRINSIC_IMPLS, _BINOPS, BoundNt
@@ -96,6 +97,9 @@ class CompiledBlock:
     storages: FrozenSet[str] = frozenset()
     #: the generated Python source (debugging, tests, reports)
     source: str = ""
+    #: (field, op) pairs decoded in the block's span — the provenance an
+    #: incremental child checks before adopting the block unrecompiled
+    ops: FrozenSet[Tuple[str, str]] = frozenset()
 
 
 class BlockTable:
@@ -257,6 +261,11 @@ class _BlockCompiler:
             residue=tuple(self._residue_fns),
             storages=frozenset(storages),
             source=source,
+            ops=frozenset(
+                (dop.field, dop.op_name)
+                for offset in offsets
+                for dop in sim._decoded[offset].operations
+            ),
         )
 
     def _comment(self, offset: int, address: int) -> None:
@@ -588,7 +597,8 @@ class BlockSimulator(CompiledSimulator):
     """
 
     def __init__(self, desc: ast.Description, table=None, *,
-                 cache=None, monitors: Optional[MonitorSet] = None):
+                 cache=None, monitors: Optional[MonitorSet] = None,
+                 parent: Optional[ast.Description] = None):
         super().__init__(desc, table=table)
         self.cache = cache
         self.monitors = monitors
@@ -597,6 +607,12 @@ class BlockSimulator(CompiledSimulator):
         self._flows: List = []
         self._decoded: List = []
         self._blocks = BlockTable(0)
+        # Incremental block adoption: when *parent* is a near-identical
+        # description whose block table for the same program is cached,
+        # blocks whose span decodes only to delta-unchanged operations
+        # are adopted instead of recompiled.
+        self._parent = parent
+        self._adopt: Optional[Tuple[BlockTable, object]] = None
 
     # ------------------------------------------------------------------
     # Loading (invalidates the dispatch cache)
@@ -614,6 +630,18 @@ class BlockSimulator(CompiledSimulator):
             )
         else:
             self._blocks = BlockTable(len(words))
+        self._adopt = None
+        if self._parent is not None and self.cache is not None:
+            parent_table = self.cache.peek_block_table(
+                self._parent, words, origin
+            )
+            if parent_table is not None:
+                delta = fingerprint_delta(self._parent, self.desc)
+                # Block code burns in storage widths, PC/halt names, and
+                # per-op costs; the environment part is checked once here,
+                # the per-op part per block at adoption time.
+                if delta.sim_env_unchanged:
+                    self._adopt = (parent_table, delta)
 
     # ------------------------------------------------------------------
     # Block compilation
@@ -628,10 +656,42 @@ class BlockSimulator(CompiledSimulator):
             flow = self._flows[offset]
             if flow.writes_imem or flow.unresolved:
                 return deopt
+        adopted = self._adopted_block(start, span)
+        if adopted is not None:
+            obs.add("blocksim.blocks_adopted")
+            return adopted
         try:
             return _BlockCompiler(self).compile(span)
         except (_Unsupported, SimulationError, KeyError):
             return deopt
+
+    def _adopted_block(self, start: int,
+                       span: Sequence[int]) -> Optional[CompiledBlock]:
+        """The parent's compiled block for *span*, when provably identical.
+
+        Sound because the generated source is a pure function of the
+        span's decoded instructions (operands included), the operations'
+        costs/stalls/latencies, and the storage/PC/halt environment: the
+        environment was checked at load time, the decoded instructions
+        reduce to "every operation in the span is delta-unchanged" (an
+        unchanged signature row decodes identically, and the parent's
+        exactly-one-match decode forces the same selection), and the
+        parent's span walk visits the same offsets because each visited
+        flow is derived from an unchanged decoded instruction.
+        """
+        if self._adopt is None:
+            return None
+        parent_table, delta = self._adopt
+        if start >= len(parent_table.blocks):
+            return None
+        block = parent_table.blocks[start]
+        if block is None or block.fn is None or block.n != len(span):
+            return None
+        for offset in span:
+            for dop in self._decoded[offset].operations:
+                if not delta.op_unchanged(dop.field, dop.op_name):
+                    return None
+        return block
 
     # ------------------------------------------------------------------
     # Driver

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .. import obs
 from ..errors import SimulationError
 from ..isdl import ast, rtl
+from ..isdl.fingerprint import FingerprintDelta, fingerprint_tree, unit_fingerprint
 from .core import (
     INTRINSIC_IMPLS,
     _BINOPS,
@@ -40,10 +41,34 @@ StmtFn = Callable[[State, dict, list], None]
 class FastCore:
     """Compiled per-operation routines with the ProcessingCore API."""
 
-    def __init__(self, desc: ast.Description):
+    def __init__(self, desc: ast.Description,
+                 reuse_from: Optional[Tuple["FastCore", FingerprintDelta]] = None):
         self.desc = desc
-        # cache key: (field, op, ((param, option-path), ...))
-        self._routines: Dict[Tuple, Tuple] = {}
+        # Dispatch cache: (op name, op identity, option choices) -> routine.
+        # The identity key keeps the per-execution lookup at dict speed.
+        self._routines: Dict[Tuple, "_Routine"] = {}
+        # Content cache: (operation unit digest, option choices) -> routine.
+        # Filled on compile; consulted on dispatch-cache misses, which is
+        # where routines adopted from a parent core are found.
+        self._by_digest: Dict[Tuple, "_Routine"] = {}
+        #: (routines adopted, routines compiled) when built incrementally.
+        self.reuse_counts: Dict[str, int] = {}
+        if reuse_from is not None:
+            parent, delta = reuse_from
+            adopted = 0
+            # A routine bakes in the operation's definition (costs,
+            # timing, RTL) and its parameters' token/NT definitions;
+            # storages are resolved by name through State at run time.
+            # So with tokens and NTs identical, any routine whose
+            # operation digest still appears in this description is
+            # byte-equivalent to what a cold compile would produce.
+            if not delta.tokens_changed and not delta.nonterminals_changed:
+                live = set(fingerprint_tree(desc).operations.values())
+                for key, routine in parent._by_digest.items():
+                    if key[0] in live:
+                        self._by_digest[key] = routine
+                        adopted += 1
+            self.reuse_counts = {"reused": adopted, "rebuilt": 0}
 
     # ------------------------------------------------------------------
     # Public API (mirrors ProcessingCore.execute)
@@ -75,12 +100,21 @@ class FastCore:
         key = (op.name, id(op), self._option_key(op, operands))
         routine = self._routines.get(key)
         if routine is None:
-            # Compile-on-miss is the GENSIM "core build"; it happens once
-            # per (operation, option-combination) per architecture.
-            with obs.span("gensim.corebuild", op=op.name):
-                routine = _Routine(self.desc, op, operands)
+            digest_key = (unit_fingerprint(op), key[2])
+            routine = self._by_digest.get(digest_key)
+            if routine is None:
+                # Compile-on-miss is the GENSIM "core build"; it happens
+                # once per (operation, option-combination) per
+                # architecture.
+                with obs.span("gensim.corebuild", op=op.name):
+                    routine = _Routine(self.desc, op, operands)
+                self._by_digest[digest_key] = routine
+                obs.add("gensim.routines_compiled")
+                if self.reuse_counts:
+                    self.reuse_counts["rebuilt"] += 1
+            else:
+                obs.add("gensim.routines_adopted")
             self._routines[key] = routine
-            obs.add("gensim.routines_compiled")
         return routine
 
     def _option_key(self, op, operands):

@@ -10,30 +10,76 @@ the classic greedy clique-partitioning heuristic of high-level synthesis
 common neighbours until no edge remains.  Each resulting clique becomes one
 functional-unit instance; by construction every clique is maximal within the
 remaining graph when it is closed.
+
+The greedy runs per connected component.  A merge requires each side's
+members to be common neighbours of the other, so candidate pairs are always
+adjacent super-nodes and merges never cross a component boundary; running
+the same greedy on each component (vertices relabelled in ascending order,
+which preserves the tie-break order) therefore produces bit-identical
+cliques to the whole-graph scan at a fraction of the O(n^2)-pairs-per-round
+cost.  Components also give incremental synthesis its reuse unit: a
+component's greedy result depends only on its relabelled local structure,
+so :func:`component_key` digests that structure and
+:func:`clique_partition` accepts a ``reuse`` mapping of previously computed
+per-component partitions (see :mod:`repro.hgen.synthesize`).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+import hashlib
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+# A component's partition, in local (relabelled) vertex indices.
+LocalCliques = Tuple[Tuple[int, ...], ...]
 
 
-def clique_partition(adjacency: Sequence[Set[int]]) -> List[List[int]]:
-    """Partition vertices into cliques of the compatibility graph.
+def connected_components(adjacency: Sequence[Set[int]]) -> List[List[int]]:
+    """Connected components as sorted vertex lists, ordered by first vertex."""
+    n = len(adjacency)
+    seen = [False] * n
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            v = stack.pop()
+            comp.append(v)
+            for w in adjacency[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    stack.append(w)
+        components.append(sorted(comp))
+    return components
 
-    *adjacency* is a list of neighbour sets (undirected, no self-loops).
-    Returns a list of cliques, each a sorted list of vertex indices; every
-    vertex appears in exactly one clique (isolated vertices form singleton
-    cliques).
+
+def component_key(local_adjacency: Sequence[Set[int]]) -> str:
+    """Digest of a component's relabelled structure.
+
+    Two components with equal keys are isomorphic *with matching vertex
+    order*, so the greedy (whose tie-breaks follow that order) yields the
+    same local cliques — the soundness condition for partition reuse.
     """
+    h = hashlib.sha256()
+    h.update(str(len(local_adjacency)).encode())
+    for i, neigh in enumerate(local_adjacency):
+        h.update(b"|")
+        h.update(str(i).encode())
+        h.update(b":")
+        h.update(",".join(map(str, sorted(neigh))).encode())
+    return h.hexdigest()
+
+
+def _greedy_partition(adjacency: Sequence[Set[int]]) -> List[List[int]]:
+    """Tseng–Siewiorek greedy on one (typically connected) graph."""
     n = len(adjacency)
     # Super-node state: members and the set of vertices adjacent to *all*
     # members (candidates for joining the clique).
     members: List[List[int]] = [[i] for i in range(n)]
     common: List[Set[int]] = [set(neigh) for neigh in adjacency]
     alive: Set[int] = set(range(n))
-
-    def merge_gain(a: int, b: int) -> int:
-        return len(common[a] & common[b])
 
     while True:
         best = None
@@ -46,7 +92,7 @@ def clique_partition(adjacency: Sequence[Set[int]]) -> List[List[int]]:
                     continue
                 if not set(members[a]) <= common[b]:
                     continue
-                gain = merge_gain(a, b)
+                gain = len(common[a] & common[b])
                 if gain > best_gain:
                     best_gain = gain
                     best = (a, b)
@@ -60,6 +106,57 @@ def clique_partition(adjacency: Sequence[Set[int]]) -> List[List[int]]:
     return sorted(
         (sorted(members[a]) for a in alive), key=lambda clique: clique[0]
     )
+
+
+def partition_components(
+    adjacency: Sequence[Set[int]],
+    reuse: Optional[Dict[str, LocalCliques]] = None,
+) -> Tuple[List[List[int]], Dict[str, LocalCliques], int, int]:
+    """Partition per component, reusing prior component results.
+
+    *reuse* maps :func:`component_key` digests to local partitions from an
+    earlier (e.g. the parent candidate's) run.  Returns the global
+    cliques, the key->partition mapping for *this* graph (to hand to
+    children), the number of components whose greedy was skipped via
+    reuse, and the number actually partitioned.  Structurally identical
+    components within one graph reuse each other's result too.
+    """
+    cliques: List[List[int]] = []
+    keys: Dict[str, LocalCliques] = {}
+    reused = fresh = 0
+    for comp in connected_components(adjacency):
+        local_index = {v: i for i, v in enumerate(comp)}
+        local_adj = [
+            {local_index[w] for w in adjacency[v] if w in local_index}
+            for v in comp
+        ]
+        key = component_key(local_adj)
+        local = keys.get(key)
+        if local is None and reuse:
+            local = reuse.get(key)
+        if local is not None:
+            reused += 1
+        else:
+            local = tuple(
+                tuple(c) for c in _greedy_partition(local_adj)
+            )
+            fresh += 1
+        keys[key] = local
+        cliques += [[comp[i] for i in clique] for clique in local]
+    cliques.sort(key=lambda clique: clique[0])
+    return cliques, keys, reused, fresh
+
+
+def clique_partition(adjacency: Sequence[Set[int]]) -> List[List[int]]:
+    """Partition vertices into cliques of the compatibility graph.
+
+    *adjacency* is a list of neighbour sets (undirected, no self-loops).
+    Returns a list of cliques, each a sorted list of vertex indices; every
+    vertex appears in exactly one clique (isolated vertices form singleton
+    cliques).
+    """
+    cliques, _, _, _ = partition_components(adjacency)
+    return cliques
 
 
 def verify_cliques(adjacency: Sequence[Set[int]],

@@ -173,22 +173,34 @@ class NodeExtractor:
         """All hardware nodes of the description."""
         nodes: List[HwNode] = []
         for fld, op in self.desc.operations():
-            owner = (fld.name, op.name)
-            env = {p.name: self.param_width(p) for p in op.params}
-            nodes.extend(self._from_blocks(owner, op, env))
-            for param in op.params:
-                ptype = self.desc.param_type(param)
-                if isinstance(ptype, ast.NonTerminal):
-                    for option in ptype.options:
-                        sub_owner = owner + (param.name, option.label)
-                        sub_env = {
-                            p.name: self.param_width(p)
-                            for p in option.params
-                        }
-                        sub_env["$$"] = self.param_width(param)
-                        nodes.extend(
-                            self._from_blocks(sub_owner, option, sub_env)
-                        )
+            nodes.extend(self.extract_operation(fld, op))
+        return nodes
+
+    def extract_operation(
+        self, fld: ast.Field, op: ast.Operation
+    ) -> List[HwNode]:
+        """The nodes owned by one operation (inlined NT options included).
+
+        Depends only on the operation's definition plus the widths of the
+        tokens, non-terminals, storages, and aliases it references — the
+        dependency set the incremental path keys reuse on.
+        """
+        owner = (fld.name, op.name)
+        env = {p.name: self.param_width(p) for p in op.params}
+        nodes: List[HwNode] = list(self._from_blocks(owner, op, env))
+        for param in op.params:
+            ptype = self.desc.param_type(param)
+            if isinstance(ptype, ast.NonTerminal):
+                for option in ptype.options:
+                    sub_owner = owner + (param.name, option.label)
+                    sub_env = {
+                        p.name: self.param_width(p)
+                        for p in option.params
+                    }
+                    sub_env["$$"] = self.param_width(param)
+                    nodes.extend(
+                        self._from_blocks(sub_owner, option, sub_env)
+                    )
         return nodes
 
     def _from_blocks(self, owner, item, env) -> Iterator[HwNode]:
@@ -327,3 +339,38 @@ class NodeExtractor:
 def extract_nodes(desc: ast.Description) -> List[HwNode]:
     """Convenience wrapper over :class:`NodeExtractor`."""
     return NodeExtractor(desc).extract()
+
+
+def extract_nodes_incremental(
+    desc: ast.Description,
+    parent_nodes: List[HwNode],
+    delta,
+) -> Tuple[List[HwNode], int, int]:
+    """Extract nodes, carrying over per-operation groups from a parent.
+
+    *delta* is the :class:`repro.isdl.fingerprint.FingerprintDelta` from
+    the parent description to *desc*.  An operation's nodes are reused
+    when its definition digest is unchanged and the width environment
+    (tokens, non-terminals, storages, aliases) is identical — extraction
+    is deterministic, so the reused group equals what a cold extraction
+    would produce.  Returns ``(nodes, ops_reused, ops_rebuilt)``.
+    """
+    env_ok = delta.global_env_unchanged and delta.storage_env_unchanged
+    if not env_ok:
+        return extract_nodes(desc), 0, sum(1 for _ in desc.operations())
+    by_op: Dict[Tuple[str, str], List[HwNode]] = {}
+    for node in parent_nodes:
+        by_op.setdefault(node.node_id.owner[:2], []).append(node)
+    extractor = NodeExtractor(desc)
+    nodes: List[HwNode] = []
+    reused = rebuilt = 0
+    for fld, op in desc.operations():
+        key = (fld.name, op.name)
+        if delta.op_unchanged(*key):
+            # Unchanged op absent from by_op simply owned no nodes.
+            nodes.extend(by_op.get(key, ()))
+            reused += 1
+        else:
+            nodes.extend(extractor.extract_operation(fld, op))
+            rebuilt += 1
+    return nodes, reused, rebuilt

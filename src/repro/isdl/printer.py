@@ -8,35 +8,99 @@ The printer round-trips: ``parse(print(parse(s)))`` equals ``parse(s)``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from . import ast, rtl
 
 
 def print_description(desc: ast.Description) -> str:
     """Render *desc* as ISDL text."""
-    out: List[str] = [f'processor "{desc.name}"', ""]
-    out += _format_section(desc)
-    out += _global_section(desc)
-    out += _storage_section(desc)
-    out += _instruction_section(desc)
-    out += _constraint_section(desc)
-    out += _optional_section(desc)
-    return "\n".join(out) + "\n"
+    return "\n".join(
+        line for _, _, lines in description_units(desc) for line in lines
+    ) + "\n"
+
+
+def description_units(
+    desc: ast.Description,
+) -> List[Tuple[str, object, List[str]]]:
+    """The canonical document broken into per-unit line groups.
+
+    Returns ``(kind, key, lines)`` triples in print order; concatenating
+    every group's lines (joined with newlines, plus the trailing one)
+    reproduces :func:`print_description` byte for byte.  This is the
+    substrate of the fingerprint tree (:mod:`repro.isdl.fingerprint`):
+    each storage, token, non-terminal, and operation is its own group, so
+    per-unit digests fall out of the same pass that yields the root
+    digest.  Kinds: ``header``, ``format``, ``frame`` (constant section
+    scaffolding), ``token``, ``nonterminal``, ``storage``, ``alias``,
+    ``field`` (the ``field <name>`` opener; key is the field name),
+    ``operation`` (key is ``(field, op)``), ``constraints``,
+    ``attributes`` (whole sections — they are small and change as one).
+    """
+    units: List[Tuple[str, object, List[str]]] = [
+        ("header", None, [f'processor "{desc.name}"', ""]),
+        ("format", None, _format_section(desc)),
+        ("frame", "global_open", ["section global_definitions"]),
+    ]
+    for token in desc.tokens.values():
+        units.append(("token", token.name, ["    " + _token_text(token)]))
+    for nt in desc.nonterminals.values():
+        units.append(("nonterminal", nt.name, _nonterminal_text(nt)))
+    units.append(("frame", "global_close", ["end", ""]))
+    units.append(("frame", "storage_open", ["section storage"]))
+    for storage in desc.storages.values():
+        units.append(("storage", storage.name, [_storage_line(storage)]))
+    for alias in desc.aliases.values():
+        units.append(("alias", alias.name, [_alias_line(alias)]))
+    units.append(("frame", "storage_close", ["end", ""]))
+    units.append(("frame", "instruction_open", ["section instruction_set"]))
+    for fld in desc.fields:
+        units.append(("field", fld.name, [f"    field {fld.name}"]))
+        for op in fld.operations:
+            units.append(
+                ("operation", (fld.name, op.name), operation_lines(op))
+            )
+        units.append(("frame", ("field_close", fld.name), ["    end"]))
+    units.append(("frame", "instruction_close", ["end", ""]))
+    constraint_lines = _constraint_section(desc)
+    if constraint_lines:
+        units.append(("constraints", None, constraint_lines))
+    optional_lines = _optional_section(desc)
+    if optional_lines:
+        units.append(("attributes", None, optional_lines))
+    return units
+
+
+def operation_lines(op: ast.Operation) -> List[str]:
+    """The canonical lines of one operation definition (indent level 2).
+
+    Position-independent: the fragment depends only on the operation, so
+    its digest identifies the definition wherever it appears.
+    """
+    out = [f"        operation {op.name}({_params_text(op.params)})"]
+    out += _parts_text(op, indent=3, default_cost=ast.Costs())
+    return out
+
+
+def _storage_line(storage: ast.Storage) -> str:
+    line = f"    {storage.kind.value} {storage.name} width {storage.width}"
+    if storage.depth is not None:
+        line += f" depth {storage.depth}"
+    return line
+
+
+def _alias_line(alias: ast.Alias) -> str:
+    target = alias.storage
+    if alias.index is not None:
+        target += f"[{alias.index}]"
+    if alias.hi is not None:
+        lo = alias.lo if alias.lo is not None else alias.hi
+        target += f"[{alias.hi}]" if alias.hi == lo else f"[{alias.hi}:{lo}]"
+    return f"    alias {alias.name} = {target}"
 
 
 def _format_section(desc) -> List[str]:
     return ["section format", f"    word {desc.word_width}", "end", ""]
-
-
-def _global_section(desc) -> List[str]:
-    out = ["section global_definitions"]
-    for token in desc.tokens.values():
-        out.append("    " + _token_text(token))
-    for nt in desc.nonterminals.values():
-        out += _nonterminal_text(nt)
-    out += ["end", ""]
-    return out
 
 
 def _token_text(token: ast.TokenDef) -> str:
@@ -114,39 +178,6 @@ def _block_text(keyword: str, stmts, indent: int) -> List[str]:
     for stmt in stmts:
         out.append(rtl.format_stmt(stmt, indent + 1))
     out.append(pad + "}")
-    return out
-
-
-def _storage_section(desc) -> List[str]:
-    out = ["section storage"]
-    for storage in desc.storages.values():
-        line = f"    {storage.kind.value} {storage.name} width {storage.width}"
-        if storage.depth is not None:
-            line += f" depth {storage.depth}"
-        out.append(line)
-    for alias in desc.aliases.values():
-        target = alias.storage
-        if alias.index is not None:
-            target += f"[{alias.index}]"
-        if alias.hi is not None:
-            lo = alias.lo if alias.lo is not None else alias.hi
-            target += f"[{alias.hi}]" if alias.hi == lo else f"[{alias.hi}:{lo}]"
-        out.append(f"    alias {alias.name} = {target}")
-    out += ["end", ""]
-    return out
-
-
-def _instruction_section(desc) -> List[str]:
-    out = ["section instruction_set"]
-    for fld in desc.fields:
-        out.append(f"    field {fld.name}")
-        for op in fld.operations:
-            out.append(
-                f"        operation {op.name}({_params_text(op.params)})"
-            )
-            out += _parts_text(op, indent=3, default_cost=ast.Costs())
-        out.append("    end")
-    out += ["end", ""]
     return out
 
 

@@ -104,3 +104,64 @@ def test_verify_rejects_missing_vertex():
         pass
     else:
         raise AssertionError("expected verify_cliques to fail")
+
+
+# ----------------------------------------------------------------------
+# Component-wise partitioning (the incremental-synthesis substrate)
+# ----------------------------------------------------------------------
+
+from repro.hgen.cliques import _greedy_partition, partition_components
+
+
+@settings(max_examples=100, deadline=None)
+@given(graphs)
+def test_component_partition_equals_whole_graph_greedy(graph):
+    """Per-component partitioning is a pure refactoring of the greedy:
+    merges never cross components, so the reference whole-graph run and
+    the component-wise run must agree exactly."""
+    n, edges = graph
+    adj = adjacency_from_edges(n, edges) if n else []
+    cliques, _keys, _reused, _fresh = partition_components(adj)
+    assert cliques == _greedy_partition(adj)
+    assert cliques == clique_partition(adj)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs)
+def test_component_reuse_skips_every_greedy_rerun(graph):
+    """Handing a graph its own key map back must reuse every component
+    and reproduce the identical partition — the equal-to-cold invariant
+    at the clique layer."""
+    n, edges = graph
+    adj = adjacency_from_edges(n, edges) if n else []
+    cold, keys, reused0, fresh0 = partition_components(adj)
+    warm, keys2, reused, fresh = partition_components(adj, reuse=keys)
+    assert warm == cold
+    assert keys2 == keys
+    assert fresh == 0
+    assert reused == reused0 + fresh0  # every component adopted
+
+
+def test_isomorphic_components_share_one_greedy_run():
+    # two identical triangles: the second adopts the first's partition
+    adj = adjacency_from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    )
+    cliques, keys, reused, fresh = partition_components(adj)
+    assert cliques == [[0, 1, 2], [3, 4, 5]]
+    assert fresh == 1 and reused == 1
+    assert len(keys) == 1
+
+
+def test_reuse_map_from_mutated_parent_only_recomputes_changed_component():
+    parent = adjacency_from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]
+    )
+    _cliques, keys, _r, _f = partition_components(parent)
+    # close the second component's triangle: only it should re-run
+    child = adjacency_from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    )
+    cliques, _keys, reused, fresh = partition_components(child, reuse=keys)
+    assert cliques == [[0, 1, 2], [3, 4, 5]]
+    assert reused >= 1  # the untouched triangle was adopted
