@@ -1,0 +1,10 @@
+; ISDL601 bait: the two instructions after `jmp done` are unreachable.
+; ISDL605 bait: OUT is written here and read by no program.
+        ldi #5
+        add #2
+        jmp done
+        ldi #99
+        add #1
+done:   out
+        sta 10
+        halt

@@ -1,0 +1,5 @@
+; ISDL602 bait: no reachable instruction raises the halt flag and
+; control never leaves the loaded image — provably never halts.
+        ldi #1
+loop:   add #1
+        jmp loop

@@ -43,6 +43,20 @@ __all__ = [
     "PassContext",
     "pass_named",
     "main",
+    "fixpoint",
+    "InstrFacts",
+    "BlockFacts",
+    "ProgramFacts",
+    "ArchFacts",
+    "program_facts",
+    "arch_facts",
+    "words_digest",
+    "DeoptFreedom",
+    "SuperblockChain",
+    "derive_deopt_freedom",
+    "derive_superblock_chains",
+    "check_deopt_freedom",
+    "check_superblock_chains",
 ]
 
 _LAZY = {
@@ -53,6 +67,20 @@ _LAZY = {
     "PassContext": "passes",
     "pass_named": "passes",
     "main": "cli",
+    "fixpoint": "dataflow",
+    "InstrFacts": "dataflow",
+    "BlockFacts": "dataflow",
+    "ProgramFacts": "dataflow",
+    "ArchFacts": "dataflow",
+    "program_facts": "dataflow",
+    "arch_facts": "dataflow",
+    "words_digest": "dataflow",
+    "DeoptFreedom": "dataflow",
+    "SuperblockChain": "dataflow",
+    "derive_deopt_freedom": "dataflow",
+    "derive_superblock_chains": "dataflow",
+    "check_deopt_freedom": "dataflow",
+    "check_superblock_chains": "dataflow",
 }
 
 

@@ -33,9 +33,46 @@ from .diagnostics import (
 
 #: a file the parser rejects — lint reports it instead of crashing
 CODE_PARSE_ERROR = "ISDL001"
+#: a --program / --workloads source that does not assemble
+CODE_ASM_ERROR = "ISDL002"
 
 
-def _lint_file(path: str) -> AnalysisResult:
+def _assemble_programs(desc, program_paths, workload_names=None):
+    """``(programs, diagnostics)``: assembled ``(name, words, origin)``
+    images for the whole-program lints, plus a diagnostic per source
+    that fails to assemble under *desc*."""
+    programs = []
+    diagnostics = []
+    from ..asm import Assembler
+
+    assembler = Assembler(desc)
+    if workload_names is not None:
+        from ..arch.workloads import all_workloads
+
+        for workload in all_workloads():
+            if workload.name not in workload_names:
+                continue
+            program = assembler.assemble(
+                workload.source, filename=f"{workload.name}.s"
+            )
+            programs.append(
+                (workload.name, tuple(program.words), program.origin)
+            )
+    for path in program_paths:
+        try:
+            program = assembler.assemble_file(path)
+        except (LocatedError, OSError) as exc:
+            diagnostics.append(Diagnostic(
+                CODE_ASM_ERROR, Severity.ERROR,
+                f"cannot assemble {path} for {desc.name}: {exc}",
+                where=path,
+            ))
+            continue
+        programs.append((path, tuple(program.words), program.origin))
+    return programs, diagnostics
+
+
+def _lint_file(path: str, program_paths=()) -> AnalysisResult:
     from ..isdl import load_file
     from .passes import analyze
 
@@ -51,14 +88,35 @@ def _lint_file(path: str) -> AnalysisResult:
             CODE_PARSE_ERROR, Severity.ERROR,
             f"cannot read {path}: {exc.strerror or exc}",
         ),), ("parse",))
-    return analyze(desc)
+    programs, extra = _assemble_programs(desc, program_paths)
+    result = analyze(desc, programs=programs or None)
+    if extra:
+        result = AnalysisResult(
+            result.name, result.diagnostics + tuple(extra), result.passes
+        )
+    return result
 
 
-def _lint_arch(name: str) -> AnalysisResult:
+def _lint_arch(name: str, program_paths=(),
+               workloads: bool = False) -> AnalysisResult:
     from ..arch import description_for
     from .passes import analyze
 
-    return analyze(description_for(name))
+    desc = description_for(name)
+    workload_names = None
+    if workloads:
+        from ..arch.workloads import workloads_for
+
+        workload_names = {w.name for w in workloads_for(name)}
+    programs, extra = _assemble_programs(
+        desc, program_paths, workload_names
+    )
+    result = analyze(desc, programs=programs or None)
+    if extra:
+        result = AnalysisResult(
+            result.name, result.diagnostics + tuple(extra), result.passes
+        )
+    return result
 
 
 def _list_codes() -> str:
@@ -85,6 +143,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="lint a built-in architecture (repeatable)")
     parser.add_argument("--all-arch", action="store_true",
                         help="lint every built-in architecture")
+    parser.add_argument("--program", action="append", default=[],
+                        metavar="ASM",
+                        help="assemble ASM against each linted description"
+                             " and run the whole-program lints (repeatable)")
+    parser.add_argument("--workloads", action="store_true",
+                        help="with --arch/--all-arch: run the whole-program"
+                             " lints over each registered workload")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     parser.add_argument("--out", metavar="PATH",
@@ -111,10 +176,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     results: List[AnalysisResult] = []
     for path in args.files:
-        results.append(_lint_file(path))
+        results.append(_lint_file(path, args.program))
     for name in sorted(arch_names):
         try:
-            results.append(_lint_arch(name))
+            results.append(_lint_arch(name, args.program,
+                                      workloads=args.workloads))
         except (KeyError, LocatedError) as exc:
             results.append(AnalysisResult(name, (Diagnostic(
                 CODE_PARSE_ERROR, Severity.ERROR,

@@ -22,6 +22,8 @@ Diagnostic code ranges (the full table lives in the README):
 ``ISDL3xx`` RTL dataflow (never-written reads, dead writes, write races)
 ``ISDL4xx`` unused definitions (tokens, non-terminals, storages, aliases)
 ``ISDL5xx`` encoding-space coverage (opcode holes, wasted bits)
+``ISDL6xx`` whole-program dataflow (unreachable blocks, never-halting,
+            always-false guards, dead conditional / program-dead writes)
 ``ISDL9xx`` analysis-internal failures
 ======== ==================================================================
 """

@@ -33,6 +33,16 @@ The passes:
   storages and aliases never reachable from any operation.
 * **encoding-space** (``ISDL501/502``) — unassigned opcode patterns per
   field and instruction bits no operation ever defines.
+* **dataflow** (``ISDL601..605``) — whole-program reasoning on top of
+  :mod:`repro.analyze.dataflow`: always-false guards and conditionally
+  dead writes in the bare RTL, plus — when the caller supplies decoded
+  workload programs — unreachable basic blocks, provably never-halting
+  programs, and storages whose writes are provably dead across every
+  supplied program.
+
+Diagnostics are deduplicated and reported in a total order (code, then
+source location, then context, then message) so repeated runs — and the
+JSON/SARIF reports derived from them — are byte-stable.
 """
 
 from __future__ import annotations
@@ -63,15 +73,26 @@ MAX_CONSTRAINT_ASSIGNMENTS = 4096
 
 
 class PassContext:
-    """What a pass may look at: the description plus shared artifacts."""
+    """What a pass may look at: the description plus shared artifacts.
+
+    *programs* is an optional sequence of ``(name, words, origin)``
+    decoded-word images (assembled workloads, typically): the dataflow
+    pass runs its whole-program lints only when they are supplied.
+    """
 
     def __init__(self, desc: ast.Description,
                  table: Optional[SignatureTable] = None,
-                 cache=None, fp: Optional[str] = None, parent=None):
+                 cache=None, fp: Optional[str] = None, parent=None,
+                 programs: Optional[Sequence[Tuple]] = None):
         self.desc = desc
         self.cache = cache
         self.fp = fp
         self.parent = parent
+        self.programs: Tuple[Tuple[str, Tuple[int, ...], int], ...] = (
+            tuple((name, tuple(words), origin)
+                  for name, words, origin in programs)
+            if programs else ()
+        )
         self._table = table
 
     @property
@@ -562,6 +583,238 @@ def pass_encoding_space(ctx: PassContext) -> List[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# Pass 6: whole-program dataflow (ISDL601..ISDL605)
+# ---------------------------------------------------------------------------
+
+#: Storage kinds whose writes are externally observable (program output,
+#: I/O, the sequencer's own state) — a write nothing reads back is the
+#: normal case there, not a dead store.
+_DEAD_STORE_EXEMPT = frozenset({
+    ast.StorageKind.PROGRAM_COUNTER,
+    ast.StorageKind.INSTRUCTION_MEMORY,
+    ast.StorageKind.MEMORY_MAPPED_IO,
+    ast.StorageKind.DATA_MEMORY,
+})
+
+
+def _false_guards(desc: ast.Description, where: str, location,
+                  stmts: Sequence[rtl.Stmt],
+                  texts: Set[str]) -> List[Diagnostic]:
+    """ISDL603 (description level): guards that fold to a constant 0
+    with no operand bindings at all — false for *every* instruction.
+    The formatted guard texts land in *texts* so the per-program check
+    can skip them (they would re-fire at every decoded occurrence)."""
+    diagnostics: List[Diagnostic] = []
+
+    def walk(body: Sequence[rtl.Stmt]) -> None:
+        for stmt in body:
+            if not isinstance(stmt, rtl.If):
+                continue
+            value = rtl.try_const_eval(stmt.cond)
+            if value is not None and not value:
+                text = rtl.format_expr(stmt.cond)
+                texts.add(text)
+                diagnostics.append(Diagnostic(
+                    "ISDL603", Severity.WARNING,
+                    f"{where}: guard {text!r} is always false — its"
+                    " then-branch can never execute",
+                    where=where,
+                    location=stmt.location or location,
+                ))
+            walk(stmt.then)
+            walk(stmt.orelse)
+
+    walk(stmts)
+    return diagnostics
+
+
+def _guarded_write_keys(desc: ast.Description,
+                        stmt: rtl.If) -> List[Tuple[Tuple, rtl.Assign]]:
+    """Exactly-located writes anywhere under *stmt*'s guard."""
+    out: List[Tuple[Tuple, rtl.Assign]] = []
+
+    def walk(body: Sequence[rtl.Stmt]) -> None:
+        for inner in body:
+            if isinstance(inner, rtl.If):
+                walk(inner.then)
+                walk(inner.orelse)
+            elif isinstance(inner, rtl.Assign) and isinstance(
+                inner.dest, rtl.StorageLV
+            ):
+                key = _write_key(desc, inner.dest)
+                if key is not None:
+                    out.append((key, inner))
+
+    walk(stmt.then)
+    walk(stmt.orelse)
+    return out
+
+
+def _dead_conditional_writes(desc: ast.Description, where: str,
+                             stmts: Sequence[rtl.Stmt]) -> List[Diagnostic]:
+    """ISDL604: a guarded write later overwritten unconditionally (with
+    no intervening read of the storage) can never be observed — the
+    guard is evaluated for nothing.  The complement of ISDL302, which
+    only reports *unconditional* shadowed writes."""
+    diagnostics: List[Diagnostic] = []
+    #: write key -> guarded Assigns still awaiting a read (key[0] is
+    #: always the base storage, see _write_key)
+    pending: Dict[Tuple, List[rtl.Assign]] = {}
+
+    def invalidate(read_bases: Set[str]) -> None:
+        for key in [k for k in pending if k[0] in read_bases]:
+            del pending[key]
+
+    for stmt in stmts:
+        if isinstance(stmt, rtl.If):
+            invalidate({
+                _alias_base(desc, n) for n in rtl.storages_read([stmt])
+            })
+            for key, guarded in _guarded_write_keys(desc, stmt):
+                pending.setdefault(key, []).append(guarded)
+            continue
+        if not isinstance(stmt, rtl.Assign):
+            continue
+        invalidate({_alias_base(desc, n) for n in _reads_in_stmt(stmt)})
+        dest = stmt.dest
+        if not isinstance(dest, rtl.StorageLV):
+            pending.clear()  # write through $$/NT params: unknown target
+            continue
+        key = _write_key(desc, dest)
+        if key is None:
+            continue
+        for guarded in pending.pop(key, ()):
+            diagnostics.append(Diagnostic(
+                "ISDL604", Severity.WARNING,
+                f"{where}: conditional write to"
+                f" {rtl.format_lvalue(guarded.dest)} is dead — a later"
+                " unconditional write overwrites it before any read",
+                where=where,
+                location=guarded.location,
+            ))
+    return diagnostics
+
+
+def _unreachable_runs(facts) -> List[Tuple[int, int]]:
+    """Maximal ``(start offset, instruction count)`` runs of decodable
+    words outside the entry-reachable block cover."""
+    reachable = facts.reachable_offsets
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    count = 0
+    expected: Optional[int] = None
+    for offset in sorted(facts.instr):
+        if offset in reachable:
+            if start is not None:
+                runs.append((start, count))
+                start = None
+            continue
+        if start is not None and offset == expected:
+            count += 1
+        else:
+            if start is not None:
+                runs.append((start, count))
+            start, count = offset, 1
+        expected = offset + facts.instr[offset].size
+    if start is not None:
+        runs.append((start, count))
+    return runs
+
+
+def pass_dataflow(ctx: PassContext) -> List[Diagnostic]:
+    desc = ctx.desc
+    diagnostics: List[Diagnostic] = []
+    halt = desc.attributes.get("halt_flag")
+    halt_base = _alias_base(desc, halt) if halt else None
+
+    # -- description level --------------------------------------------------
+
+    # ISDL602 — a halt flag nothing ever raises: no program can halt.
+    if halt_base is not None:
+        written: Set[str] = set()
+        for _, _, stmts in _rtl_blocks(desc):
+            written |= {
+                _alias_base(desc, n) for n in rtl.storages_written(stmts)
+            }
+        if halt_base not in written:
+            diagnostics.append(Diagnostic(
+                "ISDL602", Severity.WARNING,
+                f"halt flag {halt!r} is never written by any operation —"
+                " no program on this architecture can ever halt",
+                where=desc.name,
+            ))
+
+    static_false: Set[str] = set()
+    for where, location, stmts in _rtl_blocks(desc):
+        diagnostics.extend(
+            _false_guards(desc, where, location, stmts, static_false)
+        )
+        diagnostics.extend(_dead_conditional_writes(desc, where, stmts))
+
+    # -- whole-program level (needs decoded word images) --------------------
+
+    if not ctx.programs:
+        return diagnostics
+    from .dataflow import arch_facts
+
+    facts = arch_facts(desc, ctx.programs, cache=ctx.cache,
+                       parent=ctx.parent)
+    for name, program in sorted(facts.programs.items()):
+        if program.complete:
+            for start, length in _unreachable_runs(program):
+                diagnostics.append(Diagnostic(
+                    "ISDL601", Severity.WARNING,
+                    f"program {name!r}: block at word offset {start:#x}"
+                    f" ({length} instruction(s)) is unreachable from the"
+                    " entry point",
+                    where=name,
+                ))
+            for offset in sorted(program.reachable_offsets):
+                for guard in program.instr[offset].false_guards:
+                    if guard in static_false:
+                        continue  # already reported for every instruction
+                    diagnostics.append(Diagnostic(
+                        "ISDL603", Severity.WARNING,
+                        f"program {name!r}: guard {guard!r} at word offset"
+                        f" {offset:#x} is always false under the decoded"
+                        " operands",
+                        where=name,
+                    ))
+        if program.halting is False:
+            diagnostics.append(Diagnostic(
+                "ISDL602", Severity.WARNING,
+                f"program {name!r} provably never halts: no reachable"
+                " instruction writes the halt flag and control never"
+                " leaves the loaded image",
+                where=name,
+            ))
+
+    # ISDL605 — storages written but never read across *every* supplied
+    # program; sound only when reachability is exact everywhere.
+    if facts.complete:
+        written_all: Set[str] = set()
+        read_all: Set[str] = set()
+        for program in facts.programs.values():
+            written_all |= program.writes
+            read_all |= program.reads
+        for storage in desc.storages.values():
+            if storage.kind in _DEAD_STORE_EXEMPT \
+                    or storage.name == halt_base:
+                continue
+            if storage.name in written_all and storage.name not in read_all:
+                diagnostics.append(Diagnostic(
+                    "ISDL605", Severity.INFO,
+                    f"storage {storage.name!r} is written but never read"
+                    f" by any reachable instruction of the"
+                    f" {len(facts.programs)} supplied program(s) — every"
+                    " write is provably dead",
+                    where=storage.name,
+                    location=storage.location,
+                ))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
 # The registry and the pass manager
 # ---------------------------------------------------------------------------
 
@@ -591,6 +844,12 @@ ALL_PASSES: Tuple[AnalysisPass, ...] = (
         "unassigned opcode patterns and wasted instruction bits",
         pass_encoding_space,
     ),
+    AnalysisPass(
+        "dataflow", "ISDL601-ISDL605",
+        "always-false guards, dead conditional writes; with programs:"
+        " unreachable blocks, never-halting, program-dead stores",
+        pass_dataflow,
+    ),
 )
 
 
@@ -601,18 +860,53 @@ def pass_named(name: str) -> AnalysisPass:
     raise KeyError(name)
 
 
+def _loc_key(diagnostic: Diagnostic) -> Tuple[str, int, int]:
+    location = diagnostic.location
+    if location is None:
+        return ("", 0, 0)
+    return (location.filename or "", location.line, location.column)
+
+
+def _ordered(diagnostics: Sequence[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    """Deduplicate and totally order diagnostics.
+
+    Sort key: code, then source location, then structural context, then
+    message — nothing depends on pass registration order or dictionary
+    iteration, so the text/JSON/SARIF reports are byte-stable across
+    runs and refactorings.
+    """
+    seen = set()
+    out: List[Diagnostic] = []
+    for diagnostic in sorted(
+        diagnostics,
+        key=lambda d: (d.code, _loc_key(d), d.where, d.message),
+    ):
+        identity = (diagnostic.code, diagnostic.severity,
+                    diagnostic.message, diagnostic.where,
+                    _loc_key(diagnostic))
+        if identity in seen:
+            continue
+        seen.add(identity)
+        out.append(diagnostic)
+    return tuple(out)
+
+
 def analyze(desc: ast.Description, *,
             passes: Optional[Sequence[AnalysisPass]] = None,
             table: Optional[SignatureTable] = None,
             cache=None, fp: Optional[str] = None,
-            parent=None) -> AnalysisResult:
+            parent=None,
+            programs: Optional[Sequence[Tuple]] = None) -> AnalysisResult:
     """Run the semantic stage plus every (selected) pass over *desc*.
 
     A description with error-severity semantic diagnostics gets only the
     semantic stage — the passes assume a well-formed AST.  A pass that
     raises is reported as an ``ISDL901`` error rather than aborting the
     whole analysis (the gate then rejects the candidate, which is the
-    safe direction).
+    safe direction).  *programs* — ``(name, words, origin)`` decoded
+    images — unlocks the whole-program dataflow lints (ISDL601/602
+    program level, ISDL605).  The returned diagnostics are deduplicated
+    and totally ordered (see :func:`_ordered`).
     """
     selected = ALL_PASSES if passes is None else tuple(passes)
     name = getattr(desc, "name", "<description>")
@@ -624,12 +918,12 @@ def analyze(desc: ast.Description, *,
         )
         if well_formed:
             ctx = PassContext(desc, table=table, cache=cache, fp=fp,
-                              parent=parent)
+                              parent=parent, programs=programs)
             for analysis in selected:
                 with obs.span("analyze.pass", analysis=analysis.name):
                     try:
                         diagnostics.extend(analysis.run(ctx))
-                    except Exception as exc:  # noqa: BLE001 — keep linting
+                    except Exception as exc:  # broad by design — keep linting
                         diagnostics.append(Diagnostic(
                             "ISDL901", Severity.ERROR,
                             f"analysis pass {analysis.name!r} failed:"
@@ -637,15 +931,18 @@ def analyze(desc: ast.Description, *,
                             where=analysis.name,
                         ))
                 ran.append(analysis.name)
+        ordered = _ordered(diagnostics)
         obs.add("analyze.runs")
-        obs.add("analyze.diagnostics", len(diagnostics))
-        return AnalysisResult(name, tuple(diagnostics), tuple(ran))
+        obs.add("analyze.diagnostics", len(ordered))
+        return AnalysisResult(name, ordered, tuple(ran))
 
 
 def check_static(desc: ast.Description, *,
                  cache=None,
                  passes: Optional[Sequence[AnalysisPass]] = None,
-                 parent=None) -> AnalysisResult:
+                 parent=None,
+                 programs: Optional[Sequence[Tuple]] = None
+                 ) -> AnalysisResult:
     """Analyze *desc*, memoized by its structural fingerprint.
 
     This is the validity gate the exploration engine calls per candidate:
@@ -653,13 +950,21 @@ def check_static(desc: ast.Description, *,
     once per distinct description and warm sweeps pay a lookup.  *parent*
     is the incremental-build hint threaded through to the shared
     signature table (see :meth:`repro.cache.ArtifactCache.signature_table`).
+    With *programs* the memo key additionally covers the program images
+    (the whole-program lints depend on them).
     """
     if cache is None:
-        return analyze(desc, passes=passes)
+        return analyze(desc, passes=passes, programs=programs)
     fp = fingerprint(desc)
-    return cache.analysis(
-        desc,
-        lambda: analyze(desc, passes=passes, cache=cache, fp=fp,
-                        parent=parent),
-        fp=fp,
+    builder = lambda: analyze(  # tiny memo thunk
+        desc, passes=passes, cache=cache, fp=fp, parent=parent,
+        programs=programs,
     )
+    if programs:
+        from .dataflow import words_digest
+
+        key = (fp, tuple(
+            words_digest(words, origin) for _, words, origin in programs
+        ))
+        return cache.get_or_build("analysis", key, builder)
+    return cache.analysis(desc, builder, fp=fp)

@@ -76,6 +76,13 @@ class BasicBlock:
     #: the last member may write the PC (False: the block ends because
     #: the program — or the length cap — does)
     ends_in_branch: bool
+    #: the block was truncated by the length cap, not by a terminator or
+    #: the end of the program — execution always continues at
+    #: ``fall_through`` (the artificial successor)
+    capped: bool = False
+    #: word offset execution falls into when the last member does not
+    #: branch (None when the next word is unoccupied or past the end)
+    fall_through: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.offsets)
@@ -264,9 +271,25 @@ def static_blocks(
         if not span:
             break
         last = flows[span[-1]]
+        next_offset = span[-1] + last.size
+        ends_in_branch = bool(last.writes_pc)
+        capped = (
+            not ends_in_branch
+            and not last.unresolved
+            and len(span) == max_len
+            and 0 <= next_offset < n
+            and flows[next_offset] is not None
+        )
+        fall_through = None
+        if (not ends_in_branch or last.conditional_pc) \
+                and not last.unresolved:
+            if 0 <= next_offset < n and flows[next_offset] is not None:
+                fall_through = next_offset
         blocks.append(BasicBlock(
             start=offset, offsets=span,
-            ends_in_branch=bool(last.writes_pc),
+            ends_in_branch=ends_in_branch,
+            capped=capped,
+            fall_through=fall_through,
         ))
-        offset = span[-1] + last.size
+        offset = next_offset
     return blocks

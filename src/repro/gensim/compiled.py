@@ -43,14 +43,16 @@ def _make_commit(name: str, width: int, hi, lo, is_array: bool):
     (:mod:`repro.gensim.blocksim`), so both paths apply writes with
     identical masking semantics.
     """
+    # default-arg binding (not closure cells) is deliberate: locals are
+    # one dict lookup cheaper per commit on the hot path
     if hi is None:
         if is_array:
             def commit_fn(scalars, arrays, index, value,
-                          _n=name, _m=mask(width)):
+                          _n=name, _m=mask(width)):  # noqa: B008
                 arrays[_n][index] = value & _m
         else:
             def commit_fn(scalars, arrays, index, value,
-                          _n=name, _m=mask(width)):
+                          _n=name, _m=mask(width)):  # noqa: B008
                 scalars[_n] = value & _m
     else:
         effective_lo = lo if lo is not None else hi

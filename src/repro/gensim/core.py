@@ -347,7 +347,9 @@ class ProcessingCore:
             try:
                 return _BINOPS[expr.op](left, right)
             except KeyError:
-                raise SimulationError(f"unknown operator {expr.op!r}")
+                raise SimulationError(
+                    f"unknown operator {expr.op!r}"
+                ) from None
         if isinstance(expr, rtl.UnOp):
             operand = self._eval(state, expr.operand, env, result, nt_value)
             if expr.op == "~":

@@ -264,6 +264,119 @@ def params_used(stmts):
     return names
 
 
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def try_const_eval(expr, env=None, *, reads=None, intrinsics=None):
+    """Evaluate *expr* to an ``int`` when every input is statically known.
+
+    Returns ``None`` whenever any sub-expression cannot be resolved — an
+    unbound parameter, a storage read without a *reads* oracle, an
+    intrinsic without an implementation, or a division by a zero
+    constant.  The arithmetic matches the simulators bit for bit
+    (truncating division/modulus, 0/1 booleans, lazy ``?:``), so a
+    non-``None`` result is exactly what any backend would compute.
+
+    *env* maps parameter names to values; *reads* is an optional callable
+    ``StorageRead -> Optional[int]`` supplying storage contents (e.g. a
+    constant-propagation environment, or a burned program counter);
+    *intrinsics* maps intrinsic names to implementations (callers pass
+    :data:`repro.gensim.core.INTRINSIC_IMPLS` to cover ``sext`` & co.).
+    """
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, ParamRef):
+        if env is not None and expr.name in env:
+            value = env[expr.name]
+            return value if isinstance(value, int) else None
+        return None
+    if isinstance(expr, StorageRead):
+        if reads is None:
+            return None
+        base = reads(expr)
+        if base is None:
+            return None
+        if expr.hi is None:
+            return base
+        lo = expr.lo if expr.lo is not None else expr.hi
+        return (base >> lo) & ((1 << (expr.hi - lo + 1)) - 1)
+    if isinstance(expr, BinOp):
+        left = try_const_eval(expr.left, env, reads=reads,
+                              intrinsics=intrinsics)
+        right = try_const_eval(expr.right, env, reads=reads,
+                               intrinsics=intrinsics)
+        if left is None or right is None:
+            return None
+        op = expr.op
+        if op == "&&":
+            return 1 if left and right else 0
+        if op == "||":
+            return 1 if left or right else 0
+        if op in ("/", "%"):
+            if right == 0:
+                return None
+            quotient = _trunc_div(left, right)
+            return quotient if op == "/" else left - quotient * right
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            table = {
+                "==": left == right, "!=": left != right,
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right,
+            }
+            return 1 if table[op] else 0
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return left << right if right >= 0 else None
+        if op == ">>":
+            return left >> right if right >= 0 else None
+        return None
+    if isinstance(expr, UnOp):
+        operand = try_const_eval(expr.operand, env, reads=reads,
+                                 intrinsics=intrinsics)
+        if operand is None:
+            return None
+        if expr.op == "~":
+            return ~operand
+        if expr.op == "-":
+            return -operand
+        return 0 if operand else 1
+    if isinstance(expr, Cond):
+        cond = try_const_eval(expr.cond, env, reads=reads,
+                              intrinsics=intrinsics)
+        if cond is None:
+            return None
+        taken = expr.then if cond else expr.other
+        return try_const_eval(taken, env, reads=reads, intrinsics=intrinsics)
+    if isinstance(expr, Call):
+        if intrinsics is None or expr.func not in intrinsics:
+            return None
+        args = []
+        for arg in expr.args:
+            value = try_const_eval(arg, env, reads=reads,
+                                   intrinsics=intrinsics)
+            if value is None:
+                return None
+            args.append(value)
+        try:
+            return intrinsics[expr.func](*args)
+        except Exception:
+            return None
+    return None
+
+
 def format_expr(expr: Expr) -> str:
     """Render an expression back to ISDL RTL surface syntax."""
     if isinstance(expr, IntLit):

@@ -125,7 +125,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = make_server(service, args.host, args.port)
     stop = threading.Event()
 
-    def _on_signal(signum, frame):  # noqa: ARG001 — signal signature
+    def _on_signal(signum, frame):  # unused args: signal signature
         stop.set()
 
     signal.signal(signal.SIGINT, _on_signal)

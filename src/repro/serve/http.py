@@ -77,13 +77,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing ---------------------------------------------------------
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+    def do_POST(self) -> None:  # http.server's required casing
         if self.path.rstrip("/") == "/v1/jobs":
             self._submit()
         else:
             self._send_error(404, f"no such endpoint: POST {self.path}")
 
-    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+    def do_GET(self) -> None:  # http.server's required casing
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
             self._health()
@@ -200,7 +200,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args) -> None:  # base-class name
         pass  # request logging is the service metrics' job, not stderr's
 
 

@@ -515,7 +515,7 @@ class EvaluationService:
 
         try:
             analysis = check_static(job.desc, cache=self.cache)
-        except Exception:  # noqa: BLE001 — gate must not block dispatch
+        except Exception:  # broad by design — gate must not block dispatch
             return None
         if analysis.ok():
             return None
@@ -592,7 +592,7 @@ class EvaluationService:
             self._gauge("serve.queue_depth", len(self.queue))
             try:
                 self._run_batch(batch)
-            except Exception as exc:  # noqa: BLE001 — pool must survive
+            except Exception as exc:  # broad by design — pool must survive
                 self._count("serve.worker_errors")
                 message = f"internal worker error: {_format_error(exc)}"
                 for job in batch:
@@ -626,7 +626,7 @@ class EvaluationService:
                 progressed.set()
                 try:
                     done[job.id] = ("ok", self._execute(job))
-                except Exception as exc:  # noqa: BLE001 — failure capture
+                except Exception as exc:  # broad by design — failure capture
                     done[job.id] = ("error", _format_error(exc))
                 progressed.set()
 

@@ -456,7 +456,7 @@ class GateLevelSimulator(NetlistSimulator):
     def gate_count(self) -> int:
         return len(self.gate_netlist.gates)
 
-    def step(self) -> None:  # noqa: C901 - hot loop kept flat
+    def step(self) -> None:  # hot loop deliberately kept flat
         bits = self._bits
         gates = self.gate_netlist.gates
         for start, end, step_entry in self._spans:

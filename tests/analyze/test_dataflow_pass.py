@@ -1,0 +1,161 @@
+"""Tests for the whole-program dataflow pass (ISDL601..ISDL605).
+
+The ``examples/deadcode.isdl`` description plus its two companion
+programs trigger every code exactly once (ISDL605 twice — OUT and Z);
+``examples/nohalt.isdl`` triggers the description-level ISDL602.  The
+golden file pins codes, spans and messages byte-for-byte.  Regenerate
+after an intentional change with::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.isdl import load_string
+    from repro.analyze import analyze, to_json_payload
+    from repro.asm import Assembler
+    with open("examples/deadcode.isdl") as fh:
+        desc = load_string(fh.read(), filename="deadcode.isdl")
+    asm = Assembler(desc)
+    programs = []
+    for name in ("deadcode.s", "spin.s"):
+        program = asm.assemble_file(f"examples/{name}")
+        programs.append((name, tuple(program.words), program.origin))
+    target = to_json_payload([analyze(desc, programs=programs)])["targets"][0]
+    with open("tests/analyze/golden/deadcode.json", "w") as fh:
+        json.dump(target, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    EOF
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analyze import Severity, analyze, to_json_payload
+from repro.arch import ARCHITECTURES, description_for
+from repro.arch.workloads import workloads_for
+from repro.asm import Assembler
+from repro.isdl import load_string
+
+HERE = os.path.dirname(__file__)
+EXAMPLES = os.path.join(HERE, os.pardir, os.pardir, "examples")
+GOLDEN_DIR = os.path.join(HERE, "golden")
+
+
+def _load_example(name):
+    # load by content with a bare filename so diagnostic spans (and the
+    # golden file) do not embed the checkout's absolute path
+    with open(os.path.join(EXAMPLES, name)) as fh:
+        return load_string(fh.read(), filename=name)
+
+
+def _deadcode():
+    desc = _load_example("deadcode.isdl")
+    assembler = Assembler(desc)
+    programs = []
+    for name in ("deadcode.s", "spin.s"):
+        program = assembler.assemble_file(os.path.join(EXAMPLES, name))
+        programs.append((name, tuple(program.words), program.origin))
+    return desc, programs
+
+
+@pytest.fixture(scope="module")
+def deadcode_result():
+    desc, programs = _deadcode()
+    return analyze(desc, programs=programs)
+
+
+def test_deadcode_example_matches_golden(deadcode_result):
+    got = to_json_payload([deadcode_result])["targets"][0]
+    with open(os.path.join(GOLDEN_DIR, "deadcode.json")) as fh:
+        want = json.load(fh)
+    assert got == want
+
+
+def test_unreachable_block_isdl601(deadcode_result):
+    (finding,) = deadcode_result.by_code("ISDL601")
+    assert finding.severity is Severity.WARNING
+    assert "deadcode.s" in finding.message
+    assert "0x3" in finding.message and "2 instruction(s)" in finding.message
+
+
+def test_never_halting_program_isdl602(deadcode_result):
+    (finding,) = deadcode_result.by_code("ISDL602")
+    assert finding.severity is Severity.WARNING
+    assert finding.where == "spin.s"  # deadcode.s halts; spin.s spins
+
+
+def test_always_false_guard_isdl603(deadcode_result):
+    (finding,) = deadcode_result.by_code("ISDL603")
+    assert finding.severity is Severity.WARNING
+    assert finding.where == "OP.debug"
+    assert "'0'" in finding.message
+
+
+def test_dead_conditional_write_isdl604(deadcode_result):
+    (finding,) = deadcode_result.by_code("ISDL604")
+    assert finding.severity is Severity.WARNING
+    assert finding.where == "OP.clamp"
+    assert "ACC" in finding.message
+
+
+def test_program_dead_stores_isdl605(deadcode_result):
+    findings = deadcode_result.by_code("ISDL605")
+    assert [f.where for f in findings] == ["OUT", "Z"]
+    assert all(f.severity is Severity.INFO for f in findings)
+
+
+def test_without_programs_only_rtl_level_codes_fire():
+    desc, _ = _deadcode()
+    result = analyze(desc)  # no programs: whole-program lints are off
+    codes = {d.code for d in result.diagnostics}
+    assert "ISDL603" in codes and "ISDL604" in codes
+    assert not codes & {"ISDL601", "ISDL602", "ISDL605"}
+
+
+def test_nohalt_example_isdl602_description_level():
+    desc = _load_example("nohalt.isdl")
+    (finding,) = analyze(desc).by_code("ISDL602")
+    assert finding.severity is Severity.WARNING
+    assert "HALTED" in finding.message and "never written" in finding.message
+
+
+def test_diagnostics_are_deduped_and_totally_ordered(deadcode_result):
+    def key(diagnostic):
+        location = diagnostic.location
+        loc = (("", 0, 0) if location is None
+               else (location.filename or "", location.line,
+                     location.column))
+        return (diagnostic.code, loc, diagnostic.where, diagnostic.message)
+
+    diagnostics = list(deadcode_result.diagnostics)
+    assert diagnostics == sorted(diagnostics, key=key)
+    assert len({key(d) for d in diagnostics}) == len(diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# The shipped architectures stay clean
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_shipped_archs_have_no_isdl6xx(arch):
+    result = analyze(description_for(arch))
+    assert not [d for d in result.diagnostics if d.code.startswith("ISDL6")]
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_shipped_archs_with_workloads_warn_nothing(arch):
+    desc = description_for(arch)
+    assembler = Assembler(desc)
+    programs = []
+    for workload in workloads_for(arch):
+        program = assembler.assemble(workload.source,
+                                     filename=f"{workload.name}.s")
+        programs.append((workload.name, tuple(program.words),
+                         program.origin))
+    result = analyze(desc, programs=programs)
+    sixes = [d for d in result.diagnostics if d.code.startswith("ISDL6")]
+    # program-dead stores (INFO) are legitimate findings on real
+    # kernels; anything louder would mean a shipped arch regressed
+    assert all(d.severity is Severity.INFO for d in sixes)
+    assert all(d.code == "ISDL605" for d in sixes)

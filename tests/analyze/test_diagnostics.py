@@ -16,8 +16,11 @@ from repro.analyze import (
 from repro.errors import SourceLocation
 
 
+_LOC = SourceLocation("t.isdl", 3, 7)
+
+
 def diag(code="ISDL101", severity=Severity.ERROR, message="boom",
-         where="EX.a", location=SourceLocation("t.isdl", 3, 7)):
+         where="EX.a", location=_LOC):
     return Diagnostic(code, severity, message, where=where,
                       location=location)
 

@@ -433,6 +433,21 @@ end
     assert not result.ok()
 
 
+def test_identical_diagnostics_are_deduplicated(mini_desc):
+    from repro.analyze.diagnostics import Diagnostic
+
+    def noisy(ctx):
+        finding = Diagnostic("ISDL999", Severity.WARNING, "same thing",
+                             where="EX.nop")
+        return [finding, finding, Diagnostic(
+            "ISDL998", Severity.INFO, "earlier code sorts first",
+        )]
+
+    doubled = AnalysisPass("noisy", "ISDL998-ISDL999", "repeats", noisy)
+    result = analyze(mini_desc, passes=[doubled])
+    assert [d.code for d in result.diagnostics] == ["ISDL998", "ISDL999"]
+
+
 def test_pass_crash_becomes_isdl901(mini_desc):
     def explode(ctx):
         raise RuntimeError("pass bug")
@@ -448,7 +463,7 @@ def test_pass_crash_becomes_isdl901(mini_desc):
 def test_pass_registry_and_selection(mini_desc):
     assert [p.name for p in ALL_PASSES] == [
         "decode-ambiguity", "constraints", "rtl-dataflow",
-        "unused-definitions", "encoding-space",
+        "unused-definitions", "encoding-space", "dataflow",
     ]
     assert pass_named("constraints").codes == "ISDL202-ISDL203"
     with pytest.raises(KeyError):

@@ -173,8 +173,13 @@ def test_infeasible_evaluation_maps_to_all_infinite():
 # ----------------------------------------------------------------------
 
 
+#: frontier from the first pool mode measured, compared against by the
+#: second parametrized run
+_FRONTIERS = {}
+
+
 @pytest.mark.parametrize("mode", ["serial", "process"])
-def test_pareto_frontier_stable_across_pool_modes(mode, _shared={}):
+def test_pareto_frontier_stable_across_pool_modes(mode):
     weights = CostWeights(1.0, 0.5, 0.3)
     explorer = Explorer([sum_kernel()], weights, parallel=mode)
     log = explorer.explore(description_for("spam2"), max_iterations=3,
@@ -184,8 +189,8 @@ def test_pareto_frontier_stable_across_pool_modes(mode, _shared={}):
         for c in log.frontier()
     ]
     assert front, "frontier must not be empty"
-    _shared.setdefault("front", front)
-    assert front == _shared["front"], (
+    _FRONTIERS.setdefault("front", front)
+    assert front == _FRONTIERS["front"], (
         "frontier order/content must be identical whatever pool mode"
         " measured the candidates"
     )

@@ -12,7 +12,11 @@ from repro.gensim.cfg import (
     block_span,
     static_blocks,
 )
-from repro.gensim.disassembler import Disassembler
+from repro.gensim.disassembler import (
+    DecodedInstruction,
+    DecodedOperation,
+    Disassembler,
+)
 
 
 def _flows(desc, source):
@@ -141,3 +145,89 @@ def test_static_blocks_on_last_program_word(risc16_desc):
 def test_basic_block_len(risc16_desc):
     block = BasicBlock(start=0, offsets=(0, 1, 2), ends_in_branch=False)
     assert len(block) == 3
+
+
+# ---------------------------------------------------------------------------
+# Cap truncation and fall-through successors
+# ---------------------------------------------------------------------------
+
+
+def test_capped_block_reports_artificial_fall_through(risc16_desc):
+    """A block split by the length cap did not really end: it must carry
+    capped=True and name the tail as its artificial successor."""
+    body = "nop\n" * (MAX_BLOCK_LEN + 6) + "halt\n"
+    flows, _, _ = _flows(risc16_desc, body)
+    blocks = static_blocks(flows)
+    first = blocks[0]
+    assert first.capped
+    assert not first.ends_in_branch
+    assert first.fall_through == MAX_BLOCK_LEN
+    assert blocks[1].start == first.fall_through
+    assert not blocks[1].capped  # the tail ends at the real program end
+
+
+def test_conditional_branch_block_has_fall_through(risc16_desc):
+    flows, _, _ = _flows(risc16_desc, """
+        ldi r0, #3
+loop:   sub r0, r0, #1
+        bne loop - .
+        halt
+""")
+    blocks = {b.start: b for b in static_blocks(flows)}
+    branch = blocks[0]
+    assert branch.ends_in_branch and not branch.capped
+    assert branch.fall_through == 3  # the not-taken successor
+    assert blocks[3].fall_through is None  # halt: program ends
+
+
+def test_unconditional_branch_block_has_no_fall_through(risc16_desc):
+    flows, _, _ = _flows(risc16_desc, "ldi r1, #1\nloop: jmp loop\nhalt\n")
+    blocks = static_blocks(flows)
+    assert blocks[0].ends_in_branch
+    assert blocks[0].fall_through is None  # jmp never falls through
+
+
+def test_fall_through_none_past_program_end(risc16_desc):
+    flows, _, _ = _flows(risc16_desc, "nop\nhalt\n")
+    (block,) = static_blocks(flows)
+    assert not block.capped and not block.ends_in_branch
+    assert block.fall_through is None
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def _reversed_operands(operands):
+    out = {}
+    for name in reversed(list(operands)):
+        value = operands[name]
+        if isinstance(value, tuple):  # NT binding: (label, sub-operands)
+            label, sub = value
+            value = (label, _reversed_operands(sub))
+        out[name] = value
+    return out
+
+
+def test_static_blocks_deterministic_under_operand_order(risc16_desc):
+    """Flow facts and the block partition are functions of the decoded
+    program, not of operand-dict insertion order."""
+    workload = risc16_sum_loop(5)
+    flows, analyzer, decoded = _flows(risc16_desc, workload.source)
+    shuffled = [
+        DecodedInstruction(
+            word=d.word,
+            operations=tuple(
+                DecodedOperation(op.field, op.op_name,
+                                 _reversed_operands(op.operands))
+                for op in reversed(d.operations)
+            ),
+        )
+        for d in decoded
+    ]
+    reordered = ControlFlowAnalyzer(risc16_desc).flows_for_program(shuffled)
+    assert reordered == flows
+    assert static_blocks(reordered) == static_blocks(flows)
+    # the per-instruction cache key is order-insensitive too
+    assert analyzer.flow(shuffled[0]) is analyzer.flow(decoded[0])
