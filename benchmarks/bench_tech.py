@@ -1,0 +1,117 @@
+"""Technology sweeps — N operating points from ONE synthesis.
+
+The economic claim behind :mod:`repro.tech`: once a design is
+synthesized in the baseline process, projecting it into a scaled node
+and solving DVFS operating points is closed-form arithmetic — a sweep
+of N points must cost one synthesis plus N cheap re-estimates, not N
+synthesis runs.  This benchmark times both sides of that ratio and
+**asserts the amortization** (``hgen.syntheses`` stays at the single
+baseline run while the sweep executes), so a regression that quietly
+re-synthesizes per point fails CI instead of just slowing it down.
+
+Also recorded: the Pareto-frontier growth from sweeping nodes — the
+pinned baseline contributes one point; adding scaled nodes must add
+non-dominated points.  ``REPRO_BENCH_SMOKE=1`` shrinks the budget grid
+for a fast low-confidence run (CI smoke mode).
+"""
+
+import os
+import time
+
+from conftest import record, record_json
+
+from repro import obs
+from repro.arch import description_for
+from repro.codegen import Cond, KernelBuilder, Opcode
+from repro.explore import Explorer
+from repro.explore.pareto import frontier, objectives
+from repro.hgen import synthesize
+from repro.tech import TechSpec, dvfs_sweep, tech_model
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+NODES = (45, 22, 10)
+BUDGETS = ([None, 4.0, 1.0] if SMOKE
+           else [None, 8.0, 6.0, 4.0, 2.0, 1.0, 0.5, 0.25])
+
+
+def sum_kernel(n=8):
+    K = KernelBuilder("sum")
+    cnt = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return K.build()
+
+
+def test_dvfs_sweep_amortizes_synthesis():
+    desc = description_for("spam2")
+
+    start = time.perf_counter()
+    model = synthesize(desc)
+    synthesis_s = time.perf_counter() - start
+
+    obs.enable()
+    try:
+        with obs.capture() as cap:
+            start = time.perf_counter()
+            points = {}
+            for node in NODES:
+                points[node] = dvfs_sweep(model, tech_model(node, "HP"),
+                                          BUDGETS)
+            sweep_s = time.perf_counter() - start
+    finally:
+        obs.disable(reset=True)
+
+    n_points = sum(len(p) for p in points.values())
+    assert n_points == len(NODES) * len(BUDGETS)
+    # THE acceptance bar: the sweep re-projects the one baseline
+    # synthesis; it never synthesizes again.
+    syntheses = cap.snapshot.counters.get("hgen.syntheses", 0.0)
+    assert syntheses == 0.0, (
+        f"dvfs_sweep re-synthesized {syntheses:.0f} time(s)"
+    )
+    per_point_us = sweep_s / n_points * 1e6
+
+    # frontier growth: each node added to the sweep grows the Pareto
+    # frontier over (cost, cycle_ns, power_mw, die_size)
+    explorer = Explorer([sum_kernel()], parallel="serial")
+    specs = [None] + [TechSpec(node, flavor)
+                      for node in NODES for flavor in ("HP", "LP")]
+    candidates = explorer.tech_sweep(desc, specs)
+    evaluations = [c.evaluation for c in candidates]
+    frontier_sizes = []
+    for upto in range(1, len(evaluations) + 1):
+        frontier_sizes.append(
+            len(frontier(evaluations[:upto], key=objectives))
+        )
+    assert frontier_sizes[0] == 1
+    assert frontier_sizes[-1] > 1, "sweeping nodes must grow the frontier"
+    record(
+        "Technology sweeps — synthesis amortization",
+        f"- **spam2**: 1 synthesis ({synthesis_s:.3f} s) drives"
+        f" {n_points} operating points across {len(NODES)} nodes"
+        f" ({per_point_us:.0f} µs/point,"
+        f" {synthesis_s / max(sweep_s, 1e-9):,.0f}x the sweep);"
+        f" frontier {frontier_sizes[0]} -> {frontier_sizes[-1]} point(s)",
+    )
+    record_json("tech", {
+        "config": {
+            "arch": "spam2",
+            "nodes": list(NODES),
+            "budgets": [b if b is not None else "none" for b in BUDGETS],
+            "smoke": SMOKE,
+        },
+        "synthesis_s": synthesis_s,
+        "sweep_s": sweep_s,
+        "operating_points": n_points,
+        "per_point_us": per_point_us,
+        "syntheses_during_sweep": syntheses,
+        "sweep_points_counter": cap.snapshot.counters.get(
+            "tech.sweep_points", 0.0
+        ),
+        "frontier_sizes": frontier_sizes,
+    })

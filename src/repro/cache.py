@@ -524,7 +524,7 @@ class ArtifactCache:
 
     def synthesized(self, desc, fp: Optional[str] = None, *,
                     share: bool = True, use_constraints: bool = True,
-                    parent=None):
+                    parent=None, tech=None):
         """Memoized :func:`repro.hgen.synthesize` hardware model.
 
         With *parent*, a miss synthesizes incrementally off the parent's
@@ -532,6 +532,11 @@ class ArtifactCache:
         operations keep their extracted nodes, stable compatibility-matrix
         entries are copied, and per-component clique partitions are reused
         by structural digest.
+
+        *tech* (a :class:`repro.tech.TechModel`) projects the returned
+        model into a scaled technology **after** the cache fetch — the
+        synth cache itself stays technology independent, so one stored
+        synthesis serves every node/flavor a sweep asks for.
         """
         from .hgen import synthesize
 
@@ -556,7 +561,12 @@ class ArtifactCache:
                 self.note_incremental("synth", model.reuse_counts)
             return model
 
-        return self.get_or_build("synth", (fp, share, use_constraints), build)
+        model = self.get_or_build(
+            "synth", (fp, share, use_constraints), build
+        )
+        if tech is not None:
+            model = model.with_tech(tech)
+        return model
 
     def block_table(self, desc, words, origin: int,
                     builder: Callable[[], Any],

@@ -11,7 +11,12 @@ evaluator; the resulting :class:`ExplorationLog` renders through
 from .explorer import Candidate, ExplorationLog, Explorer, Trajectory
 from .metrics import CostWeights, Evaluation, evaluate, evaluation_key
 from .parallel import EvalRequest, EvalResult, ParallelEvaluator
-from .report import evaluation_table, exploration_report, service_metrics_table
+from .report import (
+    evaluation_table,
+    exploration_report,
+    operating_point_table,
+    service_metrics_table,
+)
 from .strategies import Strategy, UnknownStrategyError
 from . import pareto, strategies, transforms
 
@@ -31,6 +36,7 @@ __all__ = [
     "UnknownStrategyError",
     "evaluation_table",
     "exploration_report",
+    "operating_point_table",
     "service_metrics_table",
     "pareto",
     "strategies",

@@ -38,6 +38,7 @@ from ..codegen.ir import Kernel
 from ..errors import ExplorationError, ReproError
 from ..isdl import ast
 from ..obs.metrics import MetricsSnapshot
+from ..tech.model import TechSpec
 from . import transforms
 from .metrics import CostWeights, Evaluation
 from .parallel import EvalRequest, EvalResult, ParallelEvaluator
@@ -262,14 +263,17 @@ class Explorer:
 
     def evaluate(self, desc: ast.Description, *args,
                  derived_by: str = "initial",
-                 parent: Optional[ast.Description] = None) -> Candidate:
+                 parent: Optional[ast.Description] = None,
+                 tech: Optional[TechSpec] = None) -> Candidate:
         """Measure one candidate description.
 
         *derived_by* is keyword-only; the old positional form still
         works for one release but warns with the new spelling.  *parent*
         names the description this one was mutated from — a pure
         optimization hint that lets a cache miss reuse the parent's
-        artifacts (see :func:`repro.explore.metrics.evaluate`).
+        artifacts (see :func:`repro.explore.metrics.evaluate`).  *tech*
+        measures the candidate in a scaled technology (see
+        :class:`repro.tech.TechSpec`) instead of the pinned baseline.
         """
         if args:
             warnings.warn(
@@ -284,8 +288,46 @@ class Explorer:
                     f" options; got {1 + len(args)} positional arguments"
                 )
             derived_by = args[0]
-        evaluation = self.evaluator.evaluate(desc, parent=parent)
+        evaluation = self.evaluator.evaluate(desc, parent=parent, tech=tech)
         return Candidate(desc, evaluation, derived_by)
+
+    def tech_sweep(
+        self,
+        desc: ast.Description,
+        specs: Sequence[Optional[TechSpec]],
+        *,
+        label: Optional[str] = None,
+        parent: Optional[ast.Description] = None,
+    ) -> List[Candidate]:
+        """Measure one description across a family of technology specs.
+
+        Each entry in *specs* is a :class:`repro.tech.TechSpec` (or
+        ``None`` for the pinned baseline process).  Cycle counts,
+        compiled programs, and the synthesized netlist are shared across
+        the whole family through the artifact cache — the sweep costs one
+        tool-chain run plus a cheap re-projection per spec.  Results come
+        back in *specs* order; a spec whose measurement raises aborts the
+        sweep with :class:`ExplorationError`.
+        """
+        base = label or desc.name
+        requests = []
+        for spec in specs:
+            name = base + (spec.suffix() if spec is not None else "")
+            requests.append(EvalRequest(
+                desc, derived_by="tech_sweep", label=name,
+                parent=parent, tech=spec,
+            ))
+        candidates: List[Candidate] = []
+        for result in self.evaluator.evaluate_many(requests):
+            if not result.ok:
+                raise ExplorationError(
+                    f"tech sweep failed at {result.label!r}: {result.error}"
+                )
+            candidates.append(Candidate(
+                requests[result.index].desc, result.evaluation,
+                result.derived_by,
+            ))
+        return candidates
 
     def explore(self, initial: Optional[ast.Description] = None, *args,
                 max_iterations: int = 8,

@@ -32,6 +32,7 @@ from ..gensim.xsim import XSim
 from ..hgen import estimate_power
 from ..isdl import ast, fingerprint
 from ..isdl.fingerprint import fingerprint_delta
+from ..tech.model import TechSpec
 
 #: When set (to anything non-empty), every evaluation that reused parent
 #: artifacts is re-run cold and the two results are assert-compared —
@@ -72,6 +73,13 @@ class Evaluation:
     per_kernel_cycles: Dict[str, int] = field(default_factory=dict)
     weights: Optional[CostWeights] = None
     fingerprint: str = ""
+    # Technology axis (None/False on baseline evaluations; readers must
+    # getattr() these — pre-tech pickled instances lack the attributes).
+    tech_node: Optional[int] = None
+    tech_flavor: Optional[str] = None
+    vdd: Optional[float] = None
+    budget_mw: Optional[float] = None
+    power_capped: bool = False
 
     @property
     def runtime_us(self) -> float:
@@ -80,6 +88,15 @@ class Evaluation:
     @property
     def clock_mhz(self) -> float:
         return 1000.0 / self.cycle_ns if self.cycle_ns else 0.0
+
+    @property
+    def tech_spec(self) -> Optional[TechSpec]:
+        """The technology this candidate was evaluated in, if any."""
+        node = getattr(self, "tech_node", None)
+        if node is None:
+            return None
+        return TechSpec(node, getattr(self, "tech_flavor", None) or "HP",
+                        getattr(self, "budget_mw", None))
 
     def cost(self, weights: Optional[CostWeights] = None) -> float:
         weights = weights or self.weights or CostWeights()
@@ -94,20 +111,35 @@ class Evaluation:
     def summary(self) -> str:
         if not self.feasible:
             return f"{self.name}: INFEASIBLE ({self.reason})"
+        spec = self.tech_spec
+        suffix = ""
+        if spec is not None:
+            suffix = f" [{spec.suffix()[1:]}"
+            if getattr(self, "power_capped", False):
+                suffix += ", capped"
+            suffix += "]"
         return (
             f"{self.name}: {self.cycles} cycles @ {self.cycle_ns:.1f} ns ="
             f" {self.runtime_us:.2f} µs, die {self.die_size:,.0f} cells,"
-            f" {self.power_mw:.1f} mW"
+            f" {self.power_mw:.1f} mW{suffix}"
         )
 
 
 def evaluation_key(desc: ast.Description, kernels: Sequence[Kernel],
                    max_steps: int, fp: Optional[str] = None,
-                   sim_backend: str = "xsim"):
-    """The cache key identifying one candidate measurement."""
+                   sim_backend: str = "xsim",
+                   tech: Optional[TechSpec] = None):
+    """The cache key identifying one candidate measurement.
+
+    The technology axis is appended **only when set**, so keys written
+    by tech-free runs keep their exact historical shape.
+    """
     fp = fp or fingerprint(desc)
-    return (fp, tuple(kernel_fingerprint(k) for k in kernels), max_steps,
-            sim_backend)
+    key = (fp, tuple(kernel_fingerprint(k) for k in kernels), max_steps,
+           sim_backend)
+    if tech is not None:
+        key = key + (tech.cache_key,)
+    return key
 
 
 def evaluate(
@@ -121,8 +153,16 @@ def evaluate(
     sim_backend: str = "xsim",
     memoize: bool = True,
     parent: Optional[ast.Description] = None,
+    tech: Optional[TechSpec] = None,
 ) -> Evaluation:
     """Run the full Figure-1 measurement pipeline on one candidate.
+
+    *tech* (keyword-only, a :class:`repro.tech.TechSpec`) measures the
+    candidate in a scaled technology, optionally power-capped to the
+    spec's ``budget_mw``.  Cycle *counts* are technology independent and
+    stay shared; synthesis is projected (not re-run) and the power model
+    re-estimated, with the spec folded into the evaluation cache key.
+    ``tech=None`` is bit-identical to earlier releases.
 
     *weights* (keyword-only) is attached to the result so
     :meth:`Evaluation.cost` can be called without repeating them; *cache*
@@ -157,20 +197,22 @@ def evaluate(
     if cache is None:
         with obs.span("explore.evaluate", candidate=label):
             return _evaluate_uncached(desc, kernels, max_steps, label,
-                                      weights, sim_backend=sim_backend)
+                                      weights, sim_backend=sim_backend,
+                                      tech=tech)
     with obs.span("explore.evaluate", candidate=label):
         fp = fingerprint(desc)
         if not memoize:
             return _evaluate_uncached(desc, kernels, max_steps, label,
                                       weights, cache=cache, fp=fp,
-                                      sim_backend=sim_backend, parent=parent)
-        key = evaluation_key(desc, kernels, max_steps, fp, sim_backend)
+                                      sim_backend=sim_backend, parent=parent,
+                                      tech=tech)
+        key = evaluation_key(desc, kernels, max_steps, fp, sim_backend, tech)
         evaluation = cache.evaluation(
             key,
             lambda: _evaluate_uncached(desc, kernels, max_steps, label,
                                        weights, cache=cache, fp=fp,
                                        sim_backend=sim_backend,
-                                       parent=parent),
+                                       parent=parent, tech=tech),
         )
     # A hit may carry another run's label/weights; normalize without
     # touching the cached instance.
@@ -203,13 +245,23 @@ def _evaluate_uncached(
     fp: Optional[str] = None,
     sim_backend: str = "xsim",
     parent: Optional[ast.Description] = None,
+    tech: Optional[TechSpec] = None,
     _checked: bool = False,
 ) -> Evaluation:
     fp = fp or (fingerprint(desc) if cache is not None else "")
+    # Resolve the technology up front so an unknown node fails loudly
+    # before any tool-chain work; tech_fields stays empty on the
+    # baseline path, keeping its Evaluation constructions byte-identical.
+    tech_model = tech.model() if tech is not None else None
+    tech_fields = {} if tech is None else {
+        "tech_node": tech.node_nm,
+        "tech_flavor": tech.flavor,
+        "budget_mw": tech.budget_mw,
+    }
     if (parent is not None and not _checked
             and os.environ.get(INCREMENTAL_CHECK_ENV)):
         return _checked_incremental(desc, kernels, max_steps, label, weights,
-                                    cache, fp, sim_backend, parent)
+                                    cache, fp, sim_backend, parent, tech)
     # 1. Retarget the compiler; an unfit ISA is a legitimate negative result.
     try:
         compiler = Compiler(desc)
@@ -233,7 +285,7 @@ def _evaluate_uncached(
             ]
     except (CodegenError, ReproError) as exc:
         return Evaluation(label, feasible=False, reason=str(exc),
-                          weights=weights, fingerprint=fp)
+                          weights=weights, fingerprint=fp, **tech_fields)
     # 2. Simulate every kernel on the generated ILS.  The signature table
     #    and the fast core are pure functions of the description, so with a
     #    cache they are generated once and shared by every simulator.
@@ -303,7 +355,7 @@ def _evaluate_uncached(
             return Evaluation(
                 label, feasible=False,
                 reason=f"kernel {kernel_name!r}: {exc}",
-                weights=weights, fingerprint=fp,
+                weights=weights, fingerprint=fp, **tech_fields,
             )
         per_kernel[kernel_name] = stats.cycles
         total_cycles += stats.cycles
@@ -315,24 +367,34 @@ def _evaluate_uncached(
             merged_stats.op_counts.update(stats.op_counts)
             merged_stats.field_busy.update(stats.field_busy)
             merged_stats.instructions += stats.instructions
-    # 3. Synthesize the hardware model.
+    # 3. Synthesize the hardware model (projected, not re-run, when a
+    #    technology is set — the synth cache stays technology-free).
     if cache is None:
         from ..hgen import synthesize
 
-        model = synthesize(desc)
+        model = synthesize(desc, tech=tech_model)
     else:
-        model = cache.synthesized(desc, fp, parent=parent)
+        model = cache.synthesized(desc, fp, parent=parent, tech=tech_model)
     with obs.span("hgen.power"):
         power = estimate_power(
             desc, model.netlist, model.clock_mhz, stats=merged_stats,
-            area=model.area,
+            area=model.area, tech=tech_model,
+            budget_mw=tech.budget_mw if tech is not None else None,
         )
+    cycle_ns = model.cycle_ns
+    if getattr(power, "capped", False) and power.frequency_mhz > 0:
+        # dark-silicon capping slows the clock below the timing-closure
+        # cycle; runtime must be charged at the operating point's clock
+        cycle_ns = 1000.0 / power.frequency_mhz
+    if tech is not None:
+        tech_fields = dict(tech_fields, vdd=power.vdd,
+                           power_capped=power.capped)
     return Evaluation(
         name=label,
         feasible=True,
         cycles=total_cycles,
         stall_cycles=total_stalls,
-        cycle_ns=model.cycle_ns,
+        cycle_ns=cycle_ns,
         die_size=model.die_size,
         core_die_size=model.core_die_size,
         power_mw=power.total_mw,
@@ -342,6 +404,7 @@ def _evaluate_uncached(
         per_kernel_cycles=per_kernel,
         weights=weights,
         fingerprint=fp,
+        **tech_fields,
     )
 
 
@@ -350,7 +413,8 @@ def _evaluate_uncached(
 _CHECK_FIELDS = (
     "feasible", "reason", "cycles", "stall_cycles", "cycle_ns",
     "die_size", "core_die_size", "power_mw", "verilog_lines",
-    "per_kernel_cycles",
+    "per_kernel_cycles", "tech_node", "tech_flavor", "vdd", "budget_mw",
+    "power_capped",
 )
 
 
@@ -364,6 +428,7 @@ def _checked_incremental(
     fp: str,
     sim_backend: str,
     parent: ast.Description,
+    tech: Optional[TechSpec] = None,
 ) -> Evaluation:
     """Run incrementally *and* cold, assert-compare, return the incremental.
 
@@ -374,9 +439,9 @@ def _checked_incremental(
     incremental = _evaluate_uncached(desc, kernels, max_steps, label,
                                      weights, cache=cache, fp=fp,
                                      sim_backend=sim_backend, parent=parent,
-                                     _checked=True)
+                                     tech=tech, _checked=True)
     cold = _evaluate_uncached(desc, kernels, max_steps, label, weights,
-                              sim_backend=sim_backend)
+                              sim_backend=sim_backend, tech=tech)
     for name in _CHECK_FIELDS:
         got, want = getattr(incremental, name), getattr(cold, name)
         if got != want:

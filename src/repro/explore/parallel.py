@@ -39,6 +39,7 @@ from ..cache import ArtifactCache
 from ..codegen.ir import Kernel
 from ..isdl import ast, fingerprint
 from ..obs.metrics import MetricsSnapshot
+from ..tech.model import TechSpec
 from .metrics import CostWeights, Evaluation, evaluate, evaluation_key
 
 __all__ = ["EvalRequest", "EvalResult", "ParallelEvaluator"]
@@ -59,6 +60,9 @@ class EvalRequest:
     #: parent's cached artifacts wherever the fingerprint delta proves
     #: them unchanged (results are identical with or without it)
     parent: Optional[ast.Description] = None
+    #: technology/budget axis for this measurement; None inherits the
+    #: evaluator's default (usually the pinned baseline process)
+    tech: Optional[TechSpec] = None
 
     @property
     def display_label(self) -> str:
@@ -115,6 +119,7 @@ def _pool_init(kernels: Sequence[Kernel], max_steps: int,
 def _pool_evaluate(index: int, desc: ast.Description,
                    label: str,
                    parent: Optional[ast.Description] = None,
+                   tech: Optional[TechSpec] = None,
                    ) -> Tuple[int, Optional[Evaluation],
                               Optional[str],
                               Optional[MetricsSnapshot]]:
@@ -132,6 +137,7 @@ def _pool_evaluate(index: int, desc: ast.Description,
                 sim_backend=_WORKER_STATE.get("sim_backend", "xsim"),
                 memoize=_WORKER_STATE.get("memoize", True),
                 parent=parent,
+                tech=tech,
             )
         except Exception as exc:  # noqa: BLE001 — failure capture is the point
             error = _format_error(exc)
@@ -158,6 +164,7 @@ class ParallelEvaluator:
         sim_backend: str = "xsim",
         static_check: bool = True,
         memoize: bool = True,
+        tech: Optional[TechSpec] = None,
     ):
         if mode not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown evaluator mode {mode!r}")
@@ -169,6 +176,8 @@ class ParallelEvaluator:
         self.mode = mode
         self.sim_backend = sim_backend
         self.static_check = static_check
+        #: default technology axis; a request's own ``tech`` overrides it
+        self.tech = tech
         #: False disables the whole-evaluation memo and warm-path probe
         #: (artifact-level caches still apply); see explore.metrics.evaluate
         self.memoize = memoize
@@ -181,14 +190,20 @@ class ParallelEvaluator:
 
     def evaluate(self, desc: ast.Description,
                  label: Optional[str] = None,
-                 parent: Optional[ast.Description] = None) -> Evaluation:
+                 parent: Optional[ast.Description] = None,
+                 tech: Optional[TechSpec] = None) -> Evaluation:
         """Measure a single candidate inline (exceptions propagate)."""
         return evaluate(
             desc, self.kernels, self.max_steps,
             name=label, weights=self.weights, cache=self.cache,
             sim_backend=self.sim_backend, memoize=self.memoize,
-            parent=parent,
+            parent=parent, tech=tech if tech is not None else self.tech,
         )
+
+    def _tech_for(self, request: EvalRequest) -> Optional[TechSpec]:
+        """The request's tech axis, falling back to the evaluator's."""
+        tech = getattr(request, "tech", None)
+        return tech if tech is not None else self.tech
 
     def evaluate_many(
         self, requests: Sequence[EvalRequest]
@@ -295,17 +310,20 @@ class ParallelEvaluator:
         if self.cache is None or not self.memoize:
             return None
         label = request.display_label
+        tech = self._tech_for(request)
         try:
             key = evaluation_key(request.desc, self.kernels,
                                  self.max_steps,
-                                 sim_backend=self.sim_backend)
+                                 sim_backend=self.sim_backend,
+                                 tech=tech)
         except Exception:  # malformed candidate: let dispatch record it
             return None
         cached = self.cache.peek("evaluation", key)
         if cached is None:
             return None
         with obs.capture() as cap:
-            evaluation = self.evaluate(request.desc, label)  # counted hit
+            # counted hit
+            evaluation = self.evaluate(request.desc, label, tech=tech)
         return EvalResult(index, label, request.derived_by,
                           evaluation=evaluation, cached=True,
                           obs=cap.snapshot)
@@ -317,7 +335,8 @@ class ParallelEvaluator:
         with obs.capture() as cap:
             try:
                 evaluation = self.evaluate(request.desc, label,
-                                           parent=request.parent)
+                                           parent=request.parent,
+                                           tech=self._tech_for(request))
             except Exception as exc:  # noqa: BLE001 — failure capture
                 error = _format_error(exc)
         if error is not None:
@@ -344,7 +363,8 @@ class ParallelEvaluator:
                 futures.append(
                     (index, request,
                      pool.submit(_pool_evaluate, index, request.desc,
-                                 label, request.parent))
+                                 label, request.parent,
+                                 self._tech_for(request)))
                 )
         except (BrokenExecutor, OSError, ValueError):
             self.shutdown()
@@ -393,7 +413,8 @@ class ParallelEvaluator:
             return evaluation
         key = evaluation_key(request.desc, self.kernels, self.max_steps,
                              evaluation.fingerprint or None,
-                             sim_backend=self.sim_backend)
+                             sim_backend=self.sim_backend,
+                             tech=self._tech_for(request))
         return self.cache.evaluation(key, lambda: evaluation)
 
     def _ensure_pool(self, kind: str):

@@ -33,6 +33,48 @@ def evaluation_table(evaluations: List[Evaluation],
     return "\n".join(lines)
 
 
+def operating_point_table(evaluations: List[Evaluation]) -> str:
+    """The operating-point curve of technology-swept evaluations.
+
+    One row per evaluation that carries a technology axis: node/flavor,
+    supply voltage, clock, total power, the budget it was solved under,
+    and whether the dark-silicon cap bound.  Evaluations without a tech
+    axis (including any unpickled from pre-tech caches) are skipped;
+    returns an empty string when none qualify.
+    """
+    rows = []
+    for evaluation in evaluations:
+        node = getattr(evaluation, "tech_node", None)
+        if node is None or not evaluation.feasible:
+            continue
+        flavor = getattr(evaluation, "tech_flavor", None) or "?"
+        vdd = getattr(evaluation, "vdd", None)
+        budget = getattr(evaluation, "budget_mw", None)
+        capped = getattr(evaluation, "power_capped", False)
+        rows.append((
+            evaluation.name,
+            f"{node}{flavor}",
+            f"{vdd:.2f}" if vdd is not None else "-",
+            f"{evaluation.clock_mhz:.1f}",
+            f"{evaluation.power_mw:.2f}",
+            f"{budget:g}" if budget is not None else "-",
+            "capped" if capped else "",
+        ))
+    if not rows:
+        return ""
+    header = (
+        f"{'architecture':<28} {'tech':>6} {'vdd':>6} {'MHz':>8}"
+        f" {'mW':>8} {'budget':>7} {'':<6}"
+    )
+    lines = ["operating points:", header, "  " + "-" * (len(header) - 2)]
+    for name, tech, vdd, mhz, mw, budget, capped in rows:
+        lines.append(
+            f"{name:<28} {tech:>6} {vdd:>6} {mhz:>8} {mw:>8}"
+            f" {budget:>7} {capped:<6}"
+        )
+    return "\n".join(lines)
+
+
 def service_metrics_table(snapshot: MetricsSnapshot) -> str:
     """The evaluation-service section of a report: every ``serve.*``
     counter and gauge from *snapshot*, one per line, sorted by name.
@@ -111,6 +153,10 @@ def exploration_report(log: ExplorationLog,
         lines.append(
             evaluation_table([c.evaluation for c in front], log.weights)
         )
+    points = operating_point_table([c.evaluation for c in log.evaluated])
+    if points:
+        lines.append("")
+        lines.append(points)
     if cache is not None:
         lines.append("")
         lines.append(cache.stats.report())

@@ -9,6 +9,13 @@ A switched-capacitance model over the synthesized netlist:
   architecture with realistic activity factors;
 * storage and steering switch with a default activity;
 * everything leaks/clocks in proportion to area.
+
+The per-cell energy/leakage constants come from a
+:class:`~repro.tech.model.TechModel` (default: :data:`repro.tech.BASELINE`,
+identical to the legacy ``techlib`` constants), so the same code path
+serves the pinned baseline process and every scaled node.  With a
+``budget_mw`` the report is capped to the technology's best operating
+point under that budget (see :mod:`repro.tech.dvfs`).
 """
 
 from __future__ import annotations
@@ -16,8 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import obs
 from ..gensim.stats import SimulationStats
 from ..isdl import ast
+from ..tech.dvfs import solve_operating_point
+from ..tech.model import BASELINE, TechModel
 from . import techlib
 from .area import AreaReport, estimate_area
 from .netlist import Netlist, Unit
@@ -28,11 +38,19 @@ DEFAULT_ACTIVITY = 0.25
 
 @dataclass
 class PowerReport:
-    """Estimated power at a given clock frequency."""
+    """Estimated power at a given clock frequency and supply voltage."""
 
     dynamic_mw: float
     static_mw: float
     frequency_mhz: float
+    #: supply voltage the figures hold at (baseline process: 3.3 V)
+    vdd: float = 3.3
+    #: power budget the report was solved under (None = uncapped)
+    budget_mw: Optional[float] = None
+    #: True when the budget forced the operating point below nominal
+    capped: bool = False
+    #: True when even the minimum-voltage point exceeds the budget
+    dark_silicon: bool = False
 
     @property
     def total_mw(self) -> float:
@@ -59,8 +77,20 @@ def estimate_power(
     frequency_mhz: float,
     stats: Optional[SimulationStats] = None,
     area: Optional[AreaReport] = None,
+    tech: Optional[TechModel] = None,
+    budget_mw: Optional[float] = None,
 ) -> PowerReport:
-    """Estimate dynamic + static power at *frequency_mhz*."""
+    """Estimate dynamic + static power at *frequency_mhz*.
+
+    *area* must be the **baseline** area report (cell counts are
+    technology independent; *tech*'s per-cell constants already embed
+    the node's shrink).  *frequency_mhz* is the clock the design runs
+    at in *tech* — the caller passes the tech-scaled clock.  With a
+    *budget_mw* the nominal point is handed to the DVFS solver and the
+    capped operating point is reported instead; the ``power.capped``
+    obs counter ticks whenever the cap binds.
+    """
+    tech = tech or BASELINE
     area = area or estimate_area(desc, netlist)
     activities = operation_activity(desc, stats)
     energy_pj = 0.0  # per cycle
@@ -79,16 +109,36 @@ def estimate_power(
             activity += activities.get(owner, DEFAULT_ACTIVITY)
         activity = min(activity, 1.0)
         energy_pj += (
-            instance_area * activity * techlib.DYNAMIC_ENERGY_PER_CELL_PJ
+            instance_area * activity * tech.dynamic_energy_per_cell_pj
         )
     # Storage, decode and steering switch with default activity.
     background = (area.storage + area.decode + area.steering
                   + area.pipeline_registers)
-    energy_pj += background * DEFAULT_ACTIVITY * techlib.DYNAMIC_ENERGY_PER_CELL_PJ
+    energy_pj += background * DEFAULT_ACTIVITY * tech.dynamic_energy_per_cell_pj
     # pJ/cycle × MHz = µW; divide by 1000 for mW.
     dynamic_mw = energy_pj * frequency_mhz / 1000.0
-    static_mw = area.total * techlib.STATIC_POWER_PER_CELL_UW / 1000.0
-    return PowerReport(dynamic_mw, static_mw, frequency_mhz)
+    static_mw = area.total * tech.static_power_per_cell_uw / 1000.0
+    if budget_mw is None:
+        return PowerReport(dynamic_mw, static_mw, frequency_mhz,
+                           vdd=tech.vdd_nominal_v)
+    op = solve_operating_point(
+        tech,
+        nominal_frequency_mhz=frequency_mhz,
+        nominal_dynamic_mw=dynamic_mw,
+        nominal_static_mw=static_mw,
+        budget_mw=budget_mw,
+    )
+    if op.capped:
+        obs.add("power.capped")
+    return PowerReport(
+        op.dynamic_mw,
+        op.static_mw,
+        op.frequency_mhz,
+        vdd=op.vdd,
+        budget_mw=budget_mw,
+        capped=op.capped,
+        dark_silicon=op.dark_silicon,
+    )
 
 
 def _owner_of(site: Unit) -> tuple:

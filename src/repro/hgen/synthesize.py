@@ -10,6 +10,7 @@ everything Table 2 reports: cycle length (ns), lines of Verilog, die size
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 import time
 from dataclasses import dataclass, field
@@ -19,6 +20,7 @@ from .. import obs
 from ..encoding.signature import SignatureTable
 from ..isdl import ast, semantics
 from ..isdl.fingerprint import FingerprintDelta
+from ..tech.model import TechModel
 from .area import AreaReport, estimate_area
 from .cliques import partition_components, verify_cliques
 from .datapath import build_datapath
@@ -47,11 +49,23 @@ class HardwareModel:
     sharing_record: Optional[SharingRecord] = None
     #: Per-unit reuse counts when this model was built incrementally.
     reuse_counts: Dict[str, int] = field(default_factory=dict)
+    #: Technology the metric properties are projected into (None =
+    #: the calibrated baseline process, bit-identical to pre-tech runs).
+    tech: Optional[TechModel] = None
 
     # -- Table 2 metrics -----------------------------------------------
 
     @property
+    def _tech(self) -> Optional[TechModel]:
+        # getattr: models unpickled from pre-tech cache entries lack
+        # the field (dataclass defaults do not apply on unpickle)
+        return getattr(self, "tech", None)
+
+    @property
     def cycle_ns(self) -> float:
+        tech = self._tech
+        if tech is not None:
+            return self.timing.cycle_ns * tech.delay_scale
         return self.timing.cycle_ns
 
     @property
@@ -60,16 +74,44 @@ class HardwareModel:
 
     @property
     def die_size(self) -> float:
+        tech = self._tech
+        if tech is not None:
+            return self.area.total * tech.area_scale
         return self.area.total
 
     @property
     def core_die_size(self) -> float:
         """Die size excluding the instruction/data memory macros."""
+        tech = self._tech
+        if tech is not None:
+            return self.area.core_total * tech.area_scale
         return self.area.core_total
 
     @property
     def clock_mhz(self) -> float:
-        return 1000.0 / self.timing.cycle_ns
+        return 1000.0 / self.cycle_ns
+
+    def with_tech(self, tech: Optional[TechModel]) -> "HardwareModel":
+        """A view of this model projected into *tech* — no re-synthesis.
+
+        The stored netlist, area, and timing reports stay the baseline
+        ones (cell counts and logic structure are technology
+        independent); only the metric properties scale.  Returns
+        ``self`` when *tech* is ``None`` or already bound; re-projecting
+        a model bound to a *different* technology is refused — project
+        from the baseline model instead, so scale factors never stack.
+        """
+        bound = self._tech
+        if tech is None or tech is bound:
+            return self
+        if bound is not None:
+            raise ValueError(
+                f"model already projected into {bound.name};"
+                f" re-project from the baseline model, not {tech.name}"
+            )
+        if "tech" not in self.__dict__:  # pre-tech pickled model
+            self.tech = None
+        return dataclasses.replace(self, tech=tech)
 
     @property
     def shared_unit_count(self) -> int:
@@ -98,12 +140,18 @@ def synthesize(
     table: Optional[SignatureTable] = None,
     validate: bool = True,
     reuse_from: Optional[Tuple[HardwareModel, FingerprintDelta]] = None,
+    tech: Optional[TechModel] = None,
 ) -> HardwareModel:
     """Run HGEN on a description.
 
     *share* toggles the resource-sharing pass (the naive scheme of paper
     §4.1.1 when off); *use_constraints* controls whether constraints may
     prove cross-field exclusion (paper rule 4's refinement).
+
+    *tech* projects the metric properties (cycle, die size, clock) into
+    a scaled technology; synthesis itself is technology independent, so
+    the default ``tech=None`` is bit-identical to earlier releases and a
+    built model can be re-projected cheaply via :meth:`with_tech`.
 
     *reuse_from* is ``(parent_model, delta)`` for incremental synthesis
     off a near-identical parent: per-operation node groups, compatibility
@@ -191,6 +239,7 @@ def synthesize(
         shared=share,
         sharing_record=record,
         reuse_counts=reuse_counts,
+        tech=tech,
     )
 
 

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from ..tech.model import BASELINE as _BASELINE_TECH
+
 
 def _log2(value: int) -> float:
     return math.log2(max(value, 2))
@@ -179,7 +181,11 @@ WIRING_OVERHEAD = 1.15
 
 # -- power model -------------------------------------------------------------
 
+# The per-cell power constants now live on the baseline TechModel
+# (repro.tech.BASELINE) so the legacy path and the technology-scaled
+# path share one code path; these names remain the public aliases.
+
 #: dynamic energy per grid cell per activation, in pJ (V = 3.3 V era)
-DYNAMIC_ENERGY_PER_CELL_PJ = 0.45
+DYNAMIC_ENERGY_PER_CELL_PJ = _BASELINE_TECH.dynamic_energy_per_cell_pj
 #: static (leakage + clock tree) power per grid cell, in µW
-STATIC_POWER_PER_CELL_UW = 0.02
+STATIC_POWER_PER_CELL_UW = _BASELINE_TECH.static_power_per_cell_uw

@@ -83,6 +83,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="strategy parameter, repeatable (e.g."
                              " max_iterations=4, restarts=3,"
                              " frontier_cap=6)")
+    submit.add_argument("--tech-node", type=int, default=None,
+                        metavar="NM",
+                        help="pin the measurement to a scaled technology"
+                             " node (45/32/22/16/10)")
+    submit.add_argument("--tech-flavor", default="HP",
+                        metavar="FLAVOR",
+                        help="technology flavor at --tech-node"
+                             " (HP or LP; default HP)")
+    submit.add_argument("--power-budget", type=float, default=None,
+                        metavar="MW",
+                        help="total power budget in mW; the service"
+                             " solves the max-frequency operating point"
+                             " under it (needs --tech-node)")
     submit.add_argument("--wait", dest="wait", action="store_true",
                         default=True,
                         help="poll until the job finishes (default)")
@@ -201,6 +214,15 @@ def _print_job(record: dict, as_json: bool) -> None:
                   f" die {result['die_size']:,.0f} cells,"
                   f" {result['power_mw']:.1f} mW,"
                   f" cost {result['cost']:,.1f}")
+            tech = result.get("tech")
+            if tech:
+                line = (f"  tech: {tech['node']} nm {tech['flavor']},"
+                        f" {tech['vdd']:.2f} V")
+                if tech.get("budget_mw") is not None:
+                    line += f", budget {tech['budget_mw']:g} mW"
+                if tech.get("capped"):
+                    line += " (capped)"
+                print(line)
         else:
             print(f"  infeasible: {result.get('reason')}")
     exploration = record.get("exploration")
@@ -247,6 +269,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         }
     elif args.strategy_param:
         raise SystemExit("--strategy-param needs --strategy")
+    if args.tech_node is not None:
+        tech = {"node": args.tech_node, "flavor": args.tech_flavor}
+        if args.power_budget is not None:
+            tech["budget_mw"] = args.power_budget
+        payload["tech"] = tech
+    elif args.power_budget is not None:
+        raise SystemExit("--power-budget needs --tech-node")
+    elif args.tech_flavor != "HP":
+        raise SystemExit("--tech-flavor needs --tech-node")
     if args.arch:
         payload["arch"] = args.arch
     else:

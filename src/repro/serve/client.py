@@ -74,13 +74,18 @@ class ServeClient:
     def submit(self, payload: Dict[str, Any], *,
                strategy: Optional[str] = None,
                strategy_params: Optional[Dict[str, Any]] = None,
+               tech: Optional[Dict[str, Any]] = None,
                max_retries: int = 6,
                backoff_s: float = 0.05) -> Dict[str, Any]:
         """POST one job; retries 429 answers with exponential backoff.
 
         *strategy* (a registry name, e.g. ``"pareto"``) with optional
         *strategy_params* turns the job into an exploration run — they
-        are injected as the payload's ``"strategy"`` object.  Without
+        are injected as the payload's ``"strategy"`` object.  *tech*
+        (``{"node": 22, "flavor": "HP", "budget_mw": 8.0}``) pins the
+        measurement to a scaled technology point and is injected as the
+        payload's ``"tech"`` object — an unknown node/flavor comes back
+        as a ``rejected`` record with an SRV402 diagnostic.  Without
         them the payload goes over the wire untouched.
 
         A ``Retry-After`` header on the answer overrides the local
@@ -101,6 +106,9 @@ class ServeClient:
             raise ServeClientError(
                 "strategy_params needs a strategy name"
             )
+        if tech is not None:
+            payload = dict(payload)
+            payload["tech"] = dict(tech)
         delay = backoff_s
         for attempt in range(max_retries + 1):
             status, answer, headers = self._request(
@@ -137,10 +145,11 @@ class ServeClient:
     def submit_and_wait(self, payload: Dict[str, Any], *,
                         strategy: Optional[str] = None,
                         strategy_params: Optional[Dict[str, Any]] = None,
+                        tech: Optional[Dict[str, Any]] = None,
                         timeout: float = 120.0) -> Dict[str, Any]:
         """Submit, then poll to a terminal state (rejected short-circuits)."""
         record = self.submit(payload, strategy=strategy,
-                             strategy_params=strategy_params)
+                             strategy_params=strategy_params, tech=tech)
         if record["state"] in TERMINAL_STATES:
             return record
         return self.wait(record["id"], timeout=timeout)

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..analyze.diagnostics import Diagnostic
 from ..errors import ReproError
 from ..explore.metrics import CostWeights, Evaluation
+from ..tech.model import TechSpec
 
 __all__ = [
     "Job",
@@ -137,6 +138,8 @@ class Job:
     strategy_params: Dict[str, Any] = field(default_factory=dict)
     #: exploration summary attached to a terminal strategy job
     exploration: Optional[Dict[str, Any]] = None
+    #: technology/budget axis validated at admission (None = baseline)
+    tech: Optional[TechSpec] = None
     #: queue sequence number, assigned on first push and preserved across
     #: requeues so a retried job keeps its place in line
     seq: Optional[int] = None
@@ -154,9 +157,14 @@ class Job:
     @property
     def config_key(self) -> Tuple:
         """What must match for two jobs to share one evaluator/batch."""
-        return (self.workloads, (self.weights.runtime, self.weights.area,
-                                 self.weights.power),
-                self.backend, self.max_steps)
+        key = (self.workloads, (self.weights.runtime, self.weights.area,
+                                self.weights.power),
+               self.backend, self.max_steps)
+        if self.tech is not None:
+            # appended only when set: tech-free jobs keep the exact
+            # historical key shape (and batch exactly as before)
+            key = key + (self.tech.cache_key,)
+        return key
 
     def to_dict(self, full: bool = True) -> Dict[str, Any]:
         """The job's wire representation (JSON-serializable)."""
@@ -180,6 +188,12 @@ class Job:
         if self.strategy is not None:
             payload["strategy"] = {"name": self.strategy,
                                    "params": dict(self.strategy_params)}
+        if self.tech is not None:
+            tech: Dict[str, Any] = {"node": self.tech.node_nm,
+                                    "flavor": self.tech.flavor}
+            if self.tech.budget_mw is not None:
+                tech["budget_mw"] = self.tech.budget_mw
+            payload["tech"] = tech
         if not full:
             return payload
         payload.update(
@@ -207,7 +221,7 @@ def _evaluation_dict(evaluation: Evaluation,
     if not evaluation.feasible:
         return {"feasible": False, "reason": evaluation.reason,
                 "cost": None}
-    return {
+    record = {
         "feasible": True,
         "cycles": evaluation.cycles,
         "stall_cycles": evaluation.stall_cycles,
@@ -219,6 +233,17 @@ def _evaluation_dict(evaluation: Evaluation,
         "per_kernel_cycles": dict(evaluation.per_kernel_cycles),
         "fingerprint": evaluation.fingerprint,
     }
+    # getattr: evaluations unpickled from pre-tech caches lack the fields
+    node = getattr(evaluation, "tech_node", None)
+    if node is not None:
+        record["tech"] = {
+            "node": node,
+            "flavor": getattr(evaluation, "tech_flavor", None),
+            "vdd": getattr(evaluation, "vdd", None),
+            "budget_mw": getattr(evaluation, "budget_mw", None),
+            "capped": getattr(evaluation, "power_capped", False),
+        }
+    return record
 
 
 class JobQueue:

@@ -71,6 +71,7 @@ from ..explore.metrics import CostWeights
 from ..explore.parallel import EvalRequest, ParallelEvaluator
 from ..isdl import fingerprint
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..tech.model import TechSpec, UnknownTechError, parse_tech
 from .jobs import (
     Job,
     JobQueue,
@@ -97,6 +98,10 @@ CODE_PARSE_ERROR = "ISDL001"
 #: diagnostic code recorded when a job names an unknown exploration
 #: strategy or passes parameters its factory rejects
 CODE_BAD_STRATEGY = "SRV401"
+
+#: diagnostic code recorded when a job names a technology point the
+#: scaling tables do not cover (unknown node or flavor)
+CODE_BAD_TECH = "SRV402"
 
 #: strategy params consumed by the exploration driver, not the factory
 _DRIVER_PARAMS = ("max_iterations", "seed", "max_evaluations")
@@ -437,7 +442,8 @@ class EvaluationService:
                     or getattr(desc, "name", None) or arch or "<candidate>")
         strategy, strategy_params, strategy_diags = \
             self._parse_strategy(payload.get("strategy"))
-        parse_diags = parse_diags + strategy_diags
+        tech, tech_diags = self._parse_tech(payload.get("tech"))
+        parse_diags = parse_diags + strategy_diags + tech_diags
         key = None
         if desc is not None:
             key = (
@@ -455,6 +461,10 @@ class EvaluationService:
                     tuple(sorted((k, repr(v))
                                  for k, v in strategy_params.items())),
                 )
+            if tech is not None:
+                # tech-pinned jobs are a distinct unit of work; jobs
+                # without the field keep the exact historical key shape
+                key = key + (tech.cache_key,)
         return Job(
             id=job_id or new_job_id(self.config.shard_id),
             desc=desc, label=label, workloads=workloads,
@@ -462,6 +472,7 @@ class EvaluationService:
             max_steps=max_steps, priority=priority, timeout_s=timeout_s,
             key=key, diagnostics=parse_diags,
             strategy=strategy, strategy_params=strategy_params,
+            tech=tech,
         )
 
     def _parse_strategy(self, spec: Any) -> Tuple[
@@ -504,6 +515,28 @@ class EvaluationService:
                 f" known strategies:"
                 f" {', '.join(strategy_registry.available())}"),)
         return name, dict(params), ()
+
+    def _parse_tech(self, spec: Any) -> Tuple[
+            Optional[TechSpec], Tuple[Diagnostic, ...]]:
+        """Validate the optional ``"tech"`` object at admission.
+
+        A structurally malformed spec (not an object, non-integer node,
+        non-positive budget) is a :class:`BadRequestError` (400).  A
+        well-formed spec naming a node/flavor the scaling tables do not
+        cover produces an SRV402 diagnostic naming every known point —
+        the job is rejected on record (422) without costing a queue
+        slot, mirroring the strategy gate.  Absent spec: byte-for-byte
+        unchanged admission.
+        """
+        if spec is None:
+            return None, ()
+        try:
+            return parse_tech(spec), ()
+        except UnknownTechError as exc:
+            return None, (Diagnostic(
+                CODE_BAD_TECH, Severity.ERROR, str(exc)),)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from None
 
     def _gate_diagnostics(self, job: Job
                           ) -> Optional[Tuple[Diagnostic, ...]]:
@@ -683,7 +716,7 @@ class EvaluationService:
         evaluator = self._evaluator_for(job)
         if job.strategy is not None:
             return self._explore(job, evaluator)
-        request = EvalRequest(job.desc, label=job.label)
+        request = EvalRequest(job.desc, label=job.label, tech=job.tech)
         result = evaluator.evaluate_many([request])[0]
         if not result.cached:
             self._count("serve.evaluations_run")
@@ -761,6 +794,7 @@ class EvaluationService:
                 sim_backend=job.backend,
                 static_check=False,  # the admission gate already ran
                 memoize=self.config.share_evaluations,
+                tech=job.tech,
             )
             self._evaluators[key] = evaluator
             evicted = []

@@ -1,0 +1,54 @@
+"""repro.tech — CMOS technology-scaling models and DVFS operating points.
+
+The paper's hardware estimators (:mod:`repro.hgen`) are calibrated to one
+mid-90s gate-array process, so every exploration verdict is a point at a
+single implicit node and supply voltage.  This package turns that point
+into a family: :class:`TechModel` carries per-node (45/32/22/16/10 nm),
+per-flavor (HP/LP) scaling tables for area, delay, dynamic energy, and
+leakage — the Lumos-style dark-silicon model shape — plus a monotone
+piecewise-linear V/f curve, and :func:`solve_operating_point` finds the
+max-frequency point under a power budget (flagging *dark silicon* when
+even the minimum-voltage point leaks past it).
+
+The default everywhere stays ``tech=None``: the legacy estimators route
+through :data:`BASELINE` (the same constants ``hgen.techlib`` always
+used), so results without a tech spec are bit-for-bit unchanged.
+
+Typical use::
+
+    from repro.tech import TechSpec, dvfs_sweep, tech_model
+
+    model = synthesize(desc)                    # one baseline synthesis
+    points = dvfs_sweep(model, tech_model(22, "HP"),
+                        budgets=[None, 8.0, 4.0])   # N cheap re-estimates
+    scaled = evaluate(desc, kernels, tech=TechSpec(22, "HP", 8.0))
+"""
+
+from .dvfs import OperatingPoint, dvfs_sweep, solve_operating_point
+from .model import (
+    BASELINE,
+    KNOWN_FLAVORS,
+    KNOWN_NODES,
+    TechModel,
+    TechSpec,
+    UnknownTechError,
+    parse_tech,
+    tech_model,
+)
+from .vf import interpolate, validate_curve
+
+__all__ = [
+    "BASELINE",
+    "KNOWN_FLAVORS",
+    "KNOWN_NODES",
+    "OperatingPoint",
+    "TechModel",
+    "TechSpec",
+    "UnknownTechError",
+    "dvfs_sweep",
+    "interpolate",
+    "parse_tech",
+    "solve_operating_point",
+    "tech_model",
+    "validate_curve",
+]

@@ -1,0 +1,168 @@
+"""DVFS operating points: max frequency under a power budget.
+
+Given a design's nominal-voltage power split (dynamic / static, both at
+the technology's nominal supply and frequency) and a budget, the solver
+finds the highest supply voltage — hence, via the V/f curve, the highest
+frequency — whose total power fits:
+
+* dynamic power scales as ``(v/vnom)² · frequency_factor(v)`` (C·V²·f);
+* static power scales as ``v/vnom`` (leakage current held first-order
+  constant over the small DVFS range, so P = I·V is linear in V);
+* frequency scales as ``frequency_factor(v)`` from the model's curve.
+
+Both scalings are monotone non-decreasing in v, so the max-voltage
+feasible point is found by bisection.  When even the minimum-voltage
+point exceeds the budget the design is **dark silicon**: it cannot run
+within the budget at any supported supply, and the solver returns the
+floor point flagged ``dark_silicon`` (capped, infeasible) rather than
+inventing a voltage the process does not support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .. import obs
+from .model import TechModel
+
+__all__ = ["OperatingPoint", "dvfs_sweep", "solve_operating_point"]
+
+#: bisection iterations: halves the vdd interval to ~1e-18 of its width
+_BISECT_ITERS = 60
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (voltage, frequency, power) point of a design in a process."""
+
+    vdd: float
+    frequency_mhz: float
+    dynamic_mw: float
+    static_mw: float
+    #: the budget this point was solved under (None = uncapped)
+    budget_mw: Optional[float]
+    #: True when the budget forced the point below nominal
+    capped: bool
+    #: True when even the minimum-voltage point exceeds the budget
+    dark_silicon: bool
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.static_mw
+
+
+def _point_at(
+    tech: TechModel,
+    vdd: float,
+    nominal_frequency_mhz: float,
+    nominal_dynamic_mw: float,
+    nominal_static_mw: float,
+    budget_mw: Optional[float],
+    *,
+    capped: bool,
+    dark_silicon: bool = False,
+) -> OperatingPoint:
+    u = vdd / tech.vdd_nominal_v
+    factor = tech.frequency_factor(vdd)
+    return OperatingPoint(
+        vdd=vdd,
+        frequency_mhz=nominal_frequency_mhz * factor,
+        dynamic_mw=nominal_dynamic_mw * u * u * factor,
+        static_mw=nominal_static_mw * u,
+        budget_mw=budget_mw,
+        capped=capped,
+        dark_silicon=dark_silicon,
+    )
+
+
+def solve_operating_point(
+    tech: TechModel,
+    nominal_frequency_mhz: float,
+    nominal_dynamic_mw: float,
+    nominal_static_mw: float,
+    budget_mw: Optional[float] = None,
+) -> OperatingPoint:
+    """The max-frequency point of a design under *budget_mw*.
+
+    The nominal figures must be the design's frequency and power at the
+    technology's **nominal** supply.  With ``budget_mw=None`` (or a
+    budget the nominal point already meets) the nominal point comes back
+    uncapped.  Otherwise the supply is bisected down the V/f curve to
+    the highest voltage whose total power fits; if even ``vdd_min``
+    exceeds the budget the floor point is returned flagged
+    ``dark_silicon``.
+    """
+    if nominal_frequency_mhz <= 0.0:
+        raise ValueError("nominal frequency must be positive")
+    if nominal_dynamic_mw < 0.0 or nominal_static_mw < 0.0:
+        raise ValueError("nominal power terms must be non-negative")
+    if budget_mw is not None and budget_mw <= 0.0:
+        raise ValueError("power budget must be positive (or None)")
+
+    nominal = _point_at(
+        tech, tech.vdd_nominal_v, nominal_frequency_mhz,
+        nominal_dynamic_mw, nominal_static_mw, budget_mw, capped=False,
+    )
+    if budget_mw is None or nominal.total_mw <= budget_mw:
+        return nominal
+
+    floor = _point_at(
+        tech, tech.vdd_min_v, nominal_frequency_mhz,
+        nominal_dynamic_mw, nominal_static_mw, budget_mw,
+        capped=True, dark_silicon=True,
+    )
+    if floor.total_mw > budget_mw:
+        return floor
+
+    lo, hi = tech.vdd_min_v, tech.vdd_nominal_v  # lo fits, hi does not
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        point = _point_at(
+            tech, mid, nominal_frequency_mhz,
+            nominal_dynamic_mw, nominal_static_mw, budget_mw, capped=True,
+        )
+        if point.total_mw <= budget_mw:
+            lo = mid
+        else:
+            hi = mid
+    return _point_at(
+        tech, lo, nominal_frequency_mhz,
+        nominal_dynamic_mw, nominal_static_mw, budget_mw, capped=True,
+    )
+
+
+def dvfs_sweep(
+    model,
+    tech: TechModel,
+    budgets: Iterable[Optional[float]],
+    stats=None,
+) -> List[OperatingPoint]:
+    """Operating points of one synthesized model across power budgets.
+
+    *model* is a baseline :class:`~repro.hgen.synthesize.HardwareModel`
+    (or one already bound to *tech*); it is re-projected into *tech*
+    via :meth:`with_tech` — a cheap view, **no re-synthesis** — then one
+    power estimate at the scaled nominal point feeds every budget's
+    solve.  N budgets therefore cost 1 synthesis + 1 power estimate +
+    N closed-form solves, which is what makes a report a curve instead
+    of a point.  ``None`` in *budgets* yields the uncapped nominal.
+    """
+    from ..hgen.power import estimate_power  # local: hgen imports tech
+
+    scaled = model.with_tech(tech)
+    nominal_power = estimate_power(
+        model.desc, model.netlist, scaled.clock_mhz,
+        stats=stats, area=model.area, tech=tech,
+    )
+    points = []
+    for budget in budgets:
+        points.append(solve_operating_point(
+            tech,
+            nominal_frequency_mhz=nominal_power.frequency_mhz,
+            nominal_dynamic_mw=nominal_power.dynamic_mw,
+            nominal_static_mw=nominal_power.static_mw,
+            budget_mw=budget,
+        ))
+        obs.add("tech.sweep_points")
+    return points

@@ -1,0 +1,70 @@
+"""Monotone piecewise-linear voltage/frequency curve interpolation.
+
+A V/f curve is a tuple of ``(vdd, factor)`` knots: at supply *vdd* the
+process sustains ``factor`` × its nominal-voltage frequency.  Curves are
+validated once (strictly increasing voltage, non-decreasing factor,
+positive everywhere) and interpolated linearly between knots;
+evaluations outside the table are **clamped** to the end knots rather
+than extrapolated — below ``vdd_min`` transistors stop switching
+reliably and above nominal the table simply has no data, so the model
+refuses to invent either.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["interpolate", "validate_curve"]
+
+#: one V/f knot: (supply voltage in V, frequency factor vs nominal)
+Knot = Tuple[float, float]
+
+
+def validate_curve(curve: Sequence[Knot]) -> Tuple[Knot, ...]:
+    """Check a V/f curve's invariants; returns it as a tuple.
+
+    Raises :class:`ValueError` unless the curve is non-empty, every knot
+    is a positive ``(vdd, factor)`` pair, voltages strictly increase,
+    and factors are non-decreasing (frequency never falls as the supply
+    rises — the physical monotonicity the operating-point solver's
+    bisection relies on).
+    """
+    knots = tuple((float(v), float(f)) for v, f in curve)
+    if not knots:
+        raise ValueError("V/f curve needs at least one (vdd, factor) knot")
+    for vdd, factor in knots:
+        if vdd <= 0.0 or factor <= 0.0:
+            raise ValueError(
+                f"V/f knot ({vdd}, {factor}) must be positive"
+            )
+    for (v0, f0), (v1, f1) in zip(knots, knots[1:]):
+        if v1 <= v0:
+            raise ValueError(
+                f"V/f voltages must strictly increase: {v0} then {v1}"
+            )
+        if f1 < f0:
+            raise ValueError(
+                f"V/f factors must be non-decreasing: {f0} then {f1}"
+                f" (at {v1} V)"
+            )
+    return knots
+
+
+def interpolate(curve: Sequence[Knot], vdd: float) -> float:
+    """The frequency factor at *vdd*, clamped to the curve's bounds.
+
+    Linear between knots; at or below the first knot's voltage the
+    first factor is returned, at or above the last knot's the last —
+    never an extrapolation.
+    """
+    if not curve:
+        raise ValueError("cannot interpolate an empty V/f curve")
+    if vdd <= curve[0][0]:
+        return curve[0][1]
+    if vdd >= curve[-1][0]:
+        return curve[-1][1]
+    for (v0, f0), (v1, f1) in zip(curve, curve[1:]):
+        if v0 <= vdd <= v1:
+            t = (vdd - v0) / (v1 - v0)
+            return f0 + t * (f1 - f0)
+    raise AssertionError("unreachable: vdd inside curve bounds")

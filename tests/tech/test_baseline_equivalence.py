@@ -1,0 +1,68 @@
+"""``tech=None`` is bit-for-bit the pinned baseline process.
+
+The acceptance bar for the whole technology axis: threading a tech
+argument through synthesis, power, and evaluation must not move a single
+number when the axis is absent, and pinning the explicit baseline spec
+``TechSpec(500, "base")`` must land on exactly the same metrics (only
+the bookkeeping fields — node, flavor, vdd — differ).
+"""
+
+import pytest
+
+from repro.arch import ARCHITECTURES, description_for
+from repro.codegen import Cond, KernelBuilder, Opcode
+from repro.explore import evaluate
+from repro.explore.metrics import _CHECK_FIELDS
+from repro.hgen import synthesize
+from repro.tech import BASELINE, TechSpec
+
+#: metric fields that must agree; the tech bookkeeping fields may not
+_TECH_FIELDS = ("tech_node", "tech_flavor", "vdd", "budget_mw",
+                "power_capped")
+_METRIC_FIELDS = tuple(f for f in _CHECK_FIELDS if f not in _TECH_FIELDS)
+
+
+def sum_kernel(n=6):
+    K = KernelBuilder("sum")
+    cnt = K.li(n)
+    acc = K.li(0)
+    K.label("loop")
+    K.binary_into(acc, Opcode.ADD, acc, cnt)
+    K.binary_into(cnt, Opcode.SUB, cnt, 1)
+    K.cbr(Cond.NE, cnt, 0, "loop")
+    K.store(K.li(0), acc)
+    return K.build()
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_explicit_baseline_spec_equals_tech_free_evaluation(arch):
+    desc = description_for(arch)
+    kernels = [sum_kernel()]
+    plain = evaluate(desc, kernels, memoize=False)
+    pinned = evaluate(desc, kernels, memoize=False,
+                      tech=TechSpec(500, "base"))
+    for field in _METRIC_FIELDS:
+        assert getattr(plain, field) == getattr(pinned, field), field
+    # tech-free evaluations carry no technology bookkeeping at all
+    assert plain.tech_node is None and plain.tech_flavor is None
+    assert plain.vdd is None and plain.budget_mw is None
+    assert plain.power_capped is False
+    # the pinned run records the baseline point it ran in
+    assert pinned.tech_node == 500
+    assert pinned.tech_flavor == "base"
+    if pinned.feasible:  # infeasible candidates never reach power
+        assert pinned.vdd == pytest.approx(BASELINE.vdd_nominal_v)
+
+
+def test_with_baseline_tech_is_the_identity_on_the_model(spam2_desc):
+    model = synthesize(spam2_desc)
+    pinned = model.with_tech(BASELINE)
+    assert pinned.cycle_ns == model.cycle_ns
+    assert pinned.die_size == model.die_size
+    assert pinned.core_die_size == model.core_die_size
+    assert pinned.clock_mhz == model.clock_mhz
+
+
+def test_with_tech_none_returns_the_same_object(spam2_desc):
+    model = synthesize(spam2_desc)
+    assert model.with_tech(None) is model

@@ -1,0 +1,146 @@
+"""The DVFS operating-point solver and the one-synthesis sweep."""
+
+import pytest
+
+from repro import obs
+from repro.hgen import estimate_power, synthesize
+from repro.tech import dvfs_sweep, solve_operating_point, tech_model
+
+
+HP22 = tech_model(22, "HP")
+
+# a representative nominal point: 100 MHz, 4 mW dynamic + 1 mW static
+NOMINAL = dict(nominal_frequency_mhz=100.0, nominal_dynamic_mw=4.0,
+               nominal_static_mw=1.0)
+
+
+# ----------------------------------------------------------------------
+# solver
+# ----------------------------------------------------------------------
+
+
+def test_no_budget_returns_the_nominal_point():
+    point = solve_operating_point(HP22, **NOMINAL)
+    assert not point.capped and not point.dark_silicon
+    assert point.vdd == pytest.approx(HP22.vdd_nominal_v)
+    assert point.frequency_mhz == pytest.approx(100.0)
+    assert point.total_mw == pytest.approx(5.0)
+    assert point.budget_mw is None
+
+
+def test_generous_budget_leaves_the_point_uncapped():
+    point = solve_operating_point(HP22, budget_mw=50.0, **NOMINAL)
+    assert not point.capped
+    assert point.frequency_mhz == pytest.approx(100.0)
+    assert point.budget_mw == 50.0
+
+
+def test_tight_budget_caps_total_power_exactly():
+    point = solve_operating_point(HP22, budget_mw=2.0, **NOMINAL)
+    assert point.capped and not point.dark_silicon
+    assert point.total_mw == pytest.approx(2.0, rel=1e-9)
+    assert HP22.vdd_min_v < point.vdd < HP22.vdd_nominal_v
+    assert point.frequency_mhz < 100.0
+
+
+def test_impossible_budget_returns_the_dark_silicon_floor():
+    point = solve_operating_point(HP22, budget_mw=1e-6, **NOMINAL)
+    assert point.capped and point.dark_silicon
+    assert point.vdd == pytest.approx(HP22.vdd_min_v)
+    assert point.total_mw > 1e-6  # the floor does NOT meet the budget
+
+
+def test_frequency_is_monotone_in_the_budget():
+    budgets = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 10.0]
+    points = [solve_operating_point(HP22, budget_mw=b, **NOMINAL)
+              for b in budgets]
+    frequencies = [p.frequency_mhz for p in points]
+    assert frequencies == sorted(frequencies)
+    assert not points[-1].capped  # nominal total is 5 mW
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(nominal_frequency_mhz=0.0, nominal_dynamic_mw=1.0,
+         nominal_static_mw=1.0),
+    dict(nominal_frequency_mhz=100.0, nominal_dynamic_mw=-1.0,
+         nominal_static_mw=1.0),
+    dict(nominal_frequency_mhz=100.0, nominal_dynamic_mw=1.0,
+         nominal_static_mw=-1.0),
+    dict(nominal_frequency_mhz=100.0, nominal_dynamic_mw=1.0,
+         nominal_static_mw=1.0, budget_mw=0.0),
+])
+def test_solver_rejects_bad_inputs(kwargs):
+    with pytest.raises(ValueError):
+        solve_operating_point(HP22, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# estimate_power with a budget (satellite 2)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def spam2_model(spam2_desc):
+    return synthesize(spam2_desc)
+
+
+def test_capped_power_report_ticks_the_obs_counter(spam2_desc, spam2_model):
+    scaled = spam2_model.with_tech(HP22)
+    obs.enable()
+    try:
+        with obs.capture() as cap:
+            report = estimate_power(
+                spam2_desc, spam2_model.netlist, scaled.clock_mhz,
+                area=spam2_model.area, tech=HP22, budget_mw=2.0,
+            )
+        snapshot = cap.snapshot
+    finally:
+        obs.disable(reset=True)
+    assert report.capped
+    assert report.budget_mw == 2.0
+    assert report.total_mw == pytest.approx(2.0, rel=1e-9)
+    assert report.vdd < HP22.vdd_nominal_v
+    assert snapshot.counters.get("power.capped") == 1.0
+
+
+def test_uncapped_report_carries_the_nominal_voltage(spam2_desc,
+                                                     spam2_model):
+    scaled = spam2_model.with_tech(HP22)
+    report = estimate_power(
+        spam2_desc, spam2_model.netlist, scaled.clock_mhz,
+        area=spam2_model.area, tech=HP22,
+    )
+    assert not report.capped
+    assert report.vdd == pytest.approx(HP22.vdd_nominal_v)
+    assert report.budget_mw is None
+
+
+# ----------------------------------------------------------------------
+# dvfs_sweep: N budgets = 1 synthesis + 1 estimate + N solves
+# ----------------------------------------------------------------------
+
+
+def test_sweep_shape_and_capping(spam2_model):
+    points = dvfs_sweep(spam2_model, HP22,
+                        [None, 8.0, 4.0, 0.5, 0.001])
+    assert len(points) == 5
+    uncapped, generous, four, half, dark = points
+    assert not uncapped.capped and uncapped.budget_mw is None
+    assert not generous.capped  # nominal total fits in 8 mW
+    assert four.capped and four.total_mw == pytest.approx(4.0, rel=1e-9)
+    assert half.capped and half.total_mw == pytest.approx(0.5, rel=1e-9)
+    assert dark.dark_silicon
+    assert dark.vdd == pytest.approx(HP22.vdd_min_v)
+
+
+def test_sweep_does_not_resynthesize(spam2_model):
+    obs.enable()
+    try:
+        with obs.capture() as cap:
+            points = dvfs_sweep(spam2_model, HP22, [None, 4.0, 2.0, 1.0])
+        snapshot = cap.snapshot
+    finally:
+        obs.disable(reset=True)
+    assert len(points) == 4
+    assert snapshot.counters.get("hgen.syntheses") is None
+    assert snapshot.counters.get("tech.sweep_points") == 4.0

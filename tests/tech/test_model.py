@@ -1,0 +1,153 @@
+"""Scaling-table invariants and the technology-point registry."""
+
+import pytest
+
+from repro.hgen import techlib
+from repro.tech import (
+    BASELINE,
+    KNOWN_FLAVORS,
+    KNOWN_NODES,
+    TechSpec,
+    UnknownTechError,
+    parse_tech,
+    tech_model,
+)
+
+
+# ----------------------------------------------------------------------
+# scaling-table invariants (per flavor, nodes ordered large -> small)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("flavor", KNOWN_FLAVORS)
+def test_area_scale_non_increasing_with_node(flavor):
+    models = [tech_model(node, flavor) for node in KNOWN_NODES]
+    for bigger, smaller in zip(models, models[1:]):
+        assert smaller.area_scale <= bigger.area_scale
+
+
+@pytest.mark.parametrize("flavor", KNOWN_FLAVORS)
+def test_dynamic_energy_non_increasing_with_node(flavor):
+    models = [tech_model(node, flavor) for node in KNOWN_NODES]
+    for bigger, smaller in zip(models, models[1:]):
+        assert (smaller.dynamic_energy_per_cell_pj
+                <= bigger.dynamic_energy_per_cell_pj)
+
+
+@pytest.mark.parametrize("flavor", KNOWN_FLAVORS)
+def test_delay_scale_non_increasing_with_node(flavor):
+    # frequency non-decreasing as the node shrinks = delay non-increasing
+    models = [tech_model(node, flavor) for node in KNOWN_NODES]
+    for bigger, smaller in zip(models, models[1:]):
+        assert smaller.delay_scale <= bigger.delay_scale
+
+
+@pytest.mark.parametrize("node", KNOWN_NODES)
+def test_hp_leaks_more_and_runs_faster_than_lp(node):
+    hp = tech_model(node, "HP")
+    lp = tech_model(node, "LP")
+    assert hp.static_power_per_cell_uw > lp.static_power_per_cell_uw
+    assert hp.delay_scale < lp.delay_scale
+
+
+@pytest.mark.parametrize("flavor", KNOWN_FLAVORS)
+@pytest.mark.parametrize("node", KNOWN_NODES)
+def test_every_point_improves_on_the_baseline(node, flavor):
+    model = tech_model(node, flavor)
+    assert model.area_scale < BASELINE.area_scale
+    assert model.delay_scale < BASELINE.delay_scale
+    assert (model.dynamic_energy_per_cell_pj
+            < BASELINE.dynamic_energy_per_cell_pj)
+    assert model.vdd_nominal_v < BASELINE.vdd_nominal_v
+
+
+# ----------------------------------------------------------------------
+# techlib constants are views of the baseline model (satellite 1)
+# ----------------------------------------------------------------------
+
+
+def test_techlib_power_constants_come_from_the_baseline_model():
+    assert (techlib.DYNAMIC_ENERGY_PER_CELL_PJ
+            == BASELINE.dynamic_energy_per_cell_pj == 0.45)
+    assert (techlib.STATIC_POWER_PER_CELL_UW
+            == BASELINE.static_power_per_cell_uw == 0.02)
+
+
+def test_baseline_is_the_identity_projection():
+    assert BASELINE.area_scale == 1.0
+    assert BASELINE.delay_scale == 1.0
+    assert BASELINE.frequency_factor(BASELINE.vdd_nominal_v) == 1.0
+
+
+# ----------------------------------------------------------------------
+# registry lookups
+# ----------------------------------------------------------------------
+
+
+def test_unknown_node_raises_and_names_the_known_points():
+    with pytest.raises(UnknownTechError) as info:
+        tech_model(14, "HP")
+    message = str(info.value)
+    for node in KNOWN_NODES:
+        assert str(node) in message
+
+
+def test_unknown_flavor_raises():
+    with pytest.raises(UnknownTechError):
+        tech_model(22, "XX")
+
+
+def test_flavor_lookup_is_case_insensitive():
+    assert tech_model(22, "hp") is tech_model(22, "HP")
+    assert tech_model(16, "lp") is tech_model(16, "LP")
+
+
+# ----------------------------------------------------------------------
+# TechSpec and payload parsing
+# ----------------------------------------------------------------------
+
+
+def test_spec_cache_key_and_labels():
+    spec = TechSpec(22, "HP", 8.0)
+    assert spec.cache_key == ("tech", 22, "HP", 8.0)
+    assert spec.label() == "22 nm HP @ 8 mW"
+    assert spec.suffix() == "@22HP/8mW"
+    unbudgeted = TechSpec(16, "LP")
+    assert unbudgeted.cache_key == ("tech", 16, "LP", None)
+    assert unbudgeted.suffix() == "@16LP"
+    assert spec.model() is tech_model(22, "HP")
+
+
+def test_parse_tech_passes_none_through():
+    assert parse_tech(None) is None
+
+
+def test_parse_tech_normalizes_flavor_case():
+    spec = parse_tech({"node": 22, "flavor": "lp", "budget_mw": 4})
+    assert spec == TechSpec(22, "LP", 4.0)
+
+
+def test_parse_tech_defaults_to_hp():
+    assert parse_tech({"node": 32}) == TechSpec(32, "HP", None)
+
+
+@pytest.mark.parametrize("spec", [
+    "22HP",                          # not an object
+    {"flavor": "HP"},                # node missing
+    {"node": True},                  # bool is not a node
+    {"node": 22.5},                  # not an integer
+    {"node": 22, "flavor": 7},       # flavor not a string
+    {"node": 22, "budget_mw": "x"},  # budget not a number
+    {"node": 22, "budget_mw": -1},   # budget not positive
+    {"node": 22, "budget_mw": 0},
+])
+def test_parse_tech_structural_errors_are_value_errors(spec):
+    with pytest.raises(ValueError):
+        parse_tech(spec)
+
+
+def test_parse_tech_unknown_point_is_semantic_not_structural():
+    with pytest.raises(UnknownTechError):
+        parse_tech({"node": 14})
+    with pytest.raises(UnknownTechError):
+        parse_tech({"node": 22, "flavor": "XX"})

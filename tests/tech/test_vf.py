@@ -1,0 +1,61 @@
+"""The monotone piecewise-linear V/f interpolation primitive."""
+
+import pytest
+
+from repro.tech import interpolate, validate_curve
+from repro.tech.model import MODELS
+
+
+CURVE = ((0.6, 0.1), (0.8, 0.5), (1.0, 1.0))
+
+
+def test_interpolation_is_exact_at_the_knots():
+    for vdd, factor in CURVE:
+        assert interpolate(CURVE, vdd) == pytest.approx(factor)
+
+
+def test_interpolation_is_linear_between_knots():
+    assert interpolate(CURVE, 0.7) == pytest.approx(0.3)
+    assert interpolate(CURVE, 0.9) == pytest.approx(0.75)
+
+
+def test_interpolation_clamps_outside_the_curve():
+    assert interpolate(CURVE, 0.3) == pytest.approx(0.1)
+    assert interpolate(CURVE, 2.0) == pytest.approx(1.0)
+
+
+def test_interpolation_is_monotone_on_a_fine_grid():
+    previous = None
+    for i in range(101):
+        vdd = 0.5 + i * 0.006
+        factor = interpolate(CURVE, vdd)
+        if previous is not None:
+            assert factor >= previous
+        previous = factor
+
+
+@pytest.mark.parametrize("curve", [
+    (),                                # empty
+    ((0.0, 1.0),),                     # non-positive vdd
+    ((0.6, 0.0), (1.0, 1.0)),          # non-positive factor
+    ((0.8, 0.5), (0.6, 0.1)),          # vdd not increasing
+    ((0.6, 0.6), (0.6, 1.0)),          # duplicate vdd
+    ((0.6, 0.5), (1.0, 0.4)),          # factor decreasing
+])
+def test_validate_curve_rejects_malformed_curves(curve):
+    with pytest.raises(ValueError):
+        validate_curve(curve)
+
+
+def test_validate_curve_returns_a_tuple():
+    validated = validate_curve([(0.6, 0.1), (1.0, 1.0)])
+    assert validated == ((0.6, 0.1), (1.0, 1.0))
+    assert isinstance(validated, tuple)
+
+
+def test_every_registered_model_has_a_valid_curve():
+    for model in MODELS.values():
+        curve = validate_curve(model.vf_curve)
+        assert curve[0][0] == pytest.approx(model.vdd_min_v)
+        assert curve[-1][0] == pytest.approx(model.vdd_nominal_v)
+        assert curve[-1][1] == pytest.approx(1.0)
